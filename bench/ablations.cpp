@@ -1,0 +1,122 @@
+//===- bench/ablations.cpp - design-choice ablations ----------------------===//
+///
+/// Quantifies the design choices DESIGN.md §4b/§5 calls out, on three
+/// representative applications:
+///   1. partition-phase alignment on/off (stencil center offsets),
+///   2. the shared-L2 off-chip relocation on/off (the paper's δ idea),
+///   3. the transform address-computation overhead charged vs waived
+///      (Section 6.1's ~4%),
+///   4. mapping M1 vs M2 (locality vs MLP — the Figure 17 tradeoff).
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include <cstdio>
+
+using namespace offchip;
+
+namespace {
+
+double execSaving(const SimResult &Base, const SimResult &Opt) {
+  return savings(static_cast<double>(Base.ExecutionCycles),
+                 static_cast<double>(Opt.ExecutionCycles));
+}
+
+/// Optimized run with a plan built by a custom option tweak.
+SimResult runWith(const AppModel &App, const MachineConfig &Config,
+                  const ClusterMapping &Mapping, LayoutOptions Options) {
+  LayoutTransformer Pass(Mapping, Options);
+  LayoutPlan Plan = Pass.run(App.Program);
+  MachineConfig C = Config;
+  if (C.Granularity == InterleaveGranularity::Page)
+    C.PagePolicy = PageAllocPolicy::CompilerGuided;
+  return runSingle(App.Program, Plan, C, Mapping, App.ComputeGapCycles);
+}
+
+} // namespace
+
+int main() {
+  MachineConfig Config = MachineConfig::scaledDefault();
+  ClusterMapping Mapping = makeM1Mapping(Config);
+  printBenchHeader("Ablations: the design choices behind the pass",
+                   "phase alignment, shared-L2 relocation, transform "
+                   "overhead, M1 vs M2",
+                   Config);
+
+  const char *Apps[] = {"mgrid", "apsi", "fma3d"};
+
+  // 1. Transform overhead charged vs waived (upper bound on its cost).
+  std::printf("[1] address-computation overhead (exec saving with / "
+              "without the per-access charge)\n");
+  for (const char *Name : Apps) {
+    AppModel App = buildApp(Name);
+    SimResult Base = runVariant(App, Config, Mapping, RunVariant::Original);
+    SimResult With = runVariant(App, Config, Mapping, RunVariant::Optimized);
+    MachineConfig NoOv = Config;
+    NoOv.TransformOverheadCycles = 0;
+    SimResult Without =
+        runVariant(App, NoOv, Mapping, RunVariant::Optimized);
+    std::printf("  %-10s charged %5.1f%%   waived %5.1f%%\n", Name,
+                100.0 * execSaving(Base, With),
+                100.0 * execSaving(Base, Without));
+  }
+
+  // 2. Shared-L2 off-chip relocation (the paper's delta idea) on/off.
+  std::printf("\n[2] shared-L2 off-chip relocation (exec saving with "
+              "relocation / on-chip-only)\n");
+  MachineConfig Shared = Config;
+  Shared.SharedL2 = true;
+  for (const char *Name : Apps) {
+    AppModel App = buildApp(Name);
+    SimResult Base = runVariant(App, Shared, Mapping, RunVariant::Original);
+    LayoutOptions WithOpts = Shared.layoutOptions();
+    LayoutOptions WithoutOpts = WithOpts;
+    WithoutOpts.EnableDeltaSkip = false;
+    SimResult With = runWith(App, Shared, Mapping, WithOpts);
+    SimResult Without = runWith(App, Shared, Mapping, WithoutOpts);
+    std::printf("  %-10s relocated %5.1f%%   on-chip-only %5.1f%%\n", Name,
+                100.0 * execSaving(Base, With),
+                100.0 * execSaving(Base, Without));
+  }
+
+  // 3. M1 vs M2 (the Figure 17 tradeoff, condensed).
+  std::printf("\n[3] locality (M1) vs memory-level parallelism (M2)\n");
+  ClusterMapping M2 = makeM2Mapping(Config);
+  for (const char *Name : Apps) {
+    AppModel App = buildApp(Name);
+    SimResult Base = runVariant(App, Config, Mapping, RunVariant::Original);
+    SimResult OptM1 = runVariant(App, Config, Mapping, RunVariant::Optimized);
+    SimResult OptM2 = runVariant(App, Config, M2, RunVariant::Optimized);
+    std::printf("  %-10s M1 %5.1f%%   M2 %5.1f%%\n", Name,
+                100.0 * execSaving(Base, OptM1),
+                100.0 * execSaving(Base, OptM2));
+  }
+
+  // 4. Off-chip localization share: fraction of off-chip requests served by
+  // the requester cluster's own controller, original vs optimized — the
+  // mechanism every other number rests on.
+  std::printf("\n[4] off-chip requests served by the cluster's own MC\n");
+  for (const char *Name : Apps) {
+    AppModel App = buildApp(Name);
+    auto Local = [&](const SimResult &R) {
+      std::uint64_t L = 0, T = 0;
+      for (unsigned Node = 0; Node < R.NumNodes; ++Node) {
+        unsigned Own =
+            Mapping.clusterMCs(Mapping.clusterOfNode(Node))[0];
+        for (unsigned MC = 0; MC < R.NumMCs; ++MC) {
+          T += R.trafficAt(Node, MC);
+          if (MC == Own)
+            L += R.trafficAt(Node, MC);
+        }
+      }
+      return T == 0 ? 0.0 : 100.0 * static_cast<double>(L) /
+                                static_cast<double>(T);
+    };
+    SimResult Base = runVariant(App, Config, Mapping, RunVariant::Original);
+    SimResult Opt = runVariant(App, Config, Mapping, RunVariant::Optimized);
+    std::printf("  %-10s original %5.1f%%   optimized %5.1f%%\n", Name,
+                Local(Base), Local(Opt));
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+//===- bench/fig03_offchip_fraction.cpp - Figure 3 reproduction -----------===//
+///
+/// Figure 3: contribution of off-chip data accesses to total data accesses
+/// per application (8x8 mesh, private L2s, page interleaving). Paper
+/// average: ~22.4%.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include <cstdio>
+
+using namespace offchip;
+
+int main() {
+  MachineConfig Config = MachineConfig::scaledDefault();
+  Config.Granularity = InterleaveGranularity::Page;
+  ClusterMapping Mapping = makeM1Mapping(Config);
+
+  printBenchHeader("Figure 3: off-chip share of total data accesses",
+                   "off-chip accesses average ~22.4% of all data accesses",
+                   Config);
+  std::printf("%-12s %10s %14s %14s\n", "app", "off-chip", "total-accesses",
+              "offchip-count");
+
+  double Sum = 0.0;
+  for (const std::string &Name : appNames()) {
+    AppModel App = buildApp(Name);
+    SimResult R = runVariant(App, Config, Mapping, RunVariant::Original);
+    std::printf("%-12s %9.1f%% %14llu %14llu\n", Name.c_str(),
+                100.0 * R.offChipFraction(),
+                static_cast<unsigned long long>(R.TotalAccesses),
+                static_cast<unsigned long long>(R.OffChipAccesses));
+    Sum += R.offChipFraction();
+  }
+  std::printf("%-12s %9.1f%%\n", "AVERAGE",
+              100.0 * Sum / static_cast<double>(appNames().size()));
+  return 0;
+}

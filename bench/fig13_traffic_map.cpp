@@ -1,0 +1,73 @@
+//===- bench/fig13_traffic_map.cpp - Figure 13 reproduction ---------------===//
+///
+/// Figure 13: the distribution over the 8x8 grid of off-chip accesses
+/// destined to MC1 (the top-left controller), for apsi, before and after
+/// the optimization. Original: requests come from all over the chip;
+/// optimized: requests are skewed toward the nearby (top-left) cluster.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include <cstdio>
+
+using namespace offchip;
+
+namespace {
+
+void printMap(const char *Title, const SimResult &R, unsigned MeshX,
+              unsigned MeshY, unsigned MC) {
+  std::uint64_t Total = 0;
+  for (unsigned Node = 0; Node < MeshX * MeshY; ++Node)
+    Total += R.trafficAt(Node, MC);
+  std::printf("%s (fraction of MC%u's requests from each node, %%):\n",
+              Title, MC + 1);
+  for (unsigned Y = 0; Y < MeshY; ++Y) {
+    std::printf("  ");
+    for (unsigned X = 0; X < MeshX; ++X) {
+      std::uint64_t C = R.trafficAt(Y * MeshX + X, MC);
+      double Pct = Total == 0 ? 0.0
+                              : 100.0 * static_cast<double>(C) /
+                                    static_cast<double>(Total);
+      std::printf("%5.1f", Pct);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  MachineConfig Config = MachineConfig::scaledDefault();
+  Config.Granularity = InterleaveGranularity::Page;
+  ClusterMapping Mapping = makeM1Mapping(Config);
+
+  printBenchHeader("Figure 13: off-chip access distribution for MC1 (apsi)",
+                   "original: traffic from everywhere; optimized: skewed "
+                   "toward the MC's own cluster",
+                   Config);
+
+  AppModel App = buildApp("apsi");
+  SimResult Base = runVariant(App, Config, Mapping, RunVariant::Original);
+  SimResult Opt = runVariant(App, Config, Mapping, RunVariant::Optimized);
+  printMap("(a) original", Base, Config.MeshX, Config.MeshY, /*MC=*/0);
+  printMap("(b) optimized", Opt, Config.MeshX, Config.MeshY, /*MC=*/0);
+
+  // Quantify the skew: share of MC1 traffic from its own 4x4 cluster.
+  auto ClusterShare = [&](const SimResult &R) {
+    std::uint64_t In = 0, Total = 0;
+    for (unsigned Node = 0; Node < Config.numNodes(); ++Node) {
+      std::uint64_t C = R.trafficAt(Node, 0);
+      Total += C;
+      if (Mapping.clusterMCs(Mapping.clusterOfNode(Node))[0] == 0)
+        In += C;
+    }
+    return Total == 0 ? 0.0
+                      : static_cast<double>(In) / static_cast<double>(Total);
+  };
+  std::printf("MC1 requests originating in MC1's cluster: original %.1f%%, "
+              "optimized %.1f%%\n",
+              100.0 * ClusterShare(Base), 100.0 * ClusterShare(Opt));
+  return 0;
+}

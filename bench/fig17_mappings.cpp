@@ -1,0 +1,47 @@
+//===- bench/fig17_mappings.cpp - Figure 17 reproduction ------------------===//
+///
+/// Figure 17: execution-time savings with the two L2-to-MC mappings of
+/// Figure 8 — M1 (one nearest MC per cluster) vs M2 (clusters share groups
+/// of two MCs). The paper: M1 wins for most applications (locality beats
+/// memory-level parallelism), but fma3d and minighost — the two apps with
+/// the highest bank-queue demand (Figure 18) — prefer M2. The last columns
+/// show the compiler analysis of Section 4 scoring both mappings.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/MappingSelector.h"
+#include "harness/Experiment.h"
+
+#include <cstdio>
+
+using namespace offchip;
+
+int main() {
+  MachineConfig Config = MachineConfig::scaledDefault();
+  ClusterMapping M1 = makeM1Mapping(Config);
+  ClusterMapping M2 = makeM2Mapping(Config);
+
+  printBenchHeader("Figure 17: mapping M1 vs M2 execution-time savings",
+                   "M1 wins except for fma3d/minighost (high MLP demand)",
+                   Config);
+  std::printf("%-12s %10s %10s %10s %14s\n", "app", "M1-exec", "M2-exec",
+              "better", "analysis-picks");
+
+  for (const std::string &Name : appNames()) {
+    AppModel App = buildApp(Name);
+    SimResult Base = runVariant(App, Config, M1, RunVariant::Original);
+    SimResult OptM1 = runVariant(App, Config, M1, RunVariant::Optimized);
+    SimResult OptM2 = runVariant(App, Config, M2, RunVariant::Optimized);
+    double SaveM1 = savings(static_cast<double>(Base.ExecutionCycles),
+                            static_cast<double>(OptM1.ExecutionCycles));
+    double SaveM2 = savings(static_cast<double>(Base.ExecutionCycles),
+                            static_cast<double>(OptM2.ExecutionCycles));
+
+    unsigned Pick =
+        selectBestMapping({&M1, &M2}, App.MemDemandPerCore);
+    std::printf("%-12s %9.1f%% %9.1f%% %10s %14s\n", Name.c_str(),
+                100.0 * SaveM1, 100.0 * SaveM2,
+                SaveM2 > SaveM1 ? "M2" : "M1", Pick == 1 ? "M2" : "M1");
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+//===- bench/fig18_bank_queue.cpp - Figure 18 reproduction ----------------===//
+///
+/// Figure 18: bank queue utilization (occupancy) per application under
+/// mapping M1. The paper uses this to explain Figure 17: fma3d and
+/// minighost keep far more requests waiting in the MC queues than the other
+/// applications, which is why giving their clusters two MCs (M2) pays off.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace offchip;
+
+int main() {
+  MachineConfig Config = MachineConfig::scaledDefault();
+  ClusterMapping Mapping = makeM1Mapping(Config);
+
+  printBenchHeader("Figure 18: bank queue occupancy under mapping M1",
+                   "fma3d and minighost show the highest queue pressure",
+                   Config);
+  std::printf("%-12s %10s %14s %12s\n", "app", "avg-occ", "hottest-MC-occ",
+              "row-hit");
+
+  for (const std::string &Name : appNames()) {
+    AppModel App = buildApp(Name);
+    SimResult R = runVariant(App, Config, Mapping, RunVariant::Optimized);
+    double MaxOcc = 0.0;
+    for (double Occ : R.PerMCQueueOccupancy)
+      MaxOcc = std::max(MaxOcc, Occ);
+    std::printf("%-12s %10.2f %14.2f %11.1f%%\n", Name.c_str(),
+                R.AvgBankQueueOccupancy, MaxOcc, 100.0 * R.RowHitRate);
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===- bench/fig19_mc_placement.cpp - Figure 19 reproduction --------------===//
+///
+/// Figure 19: execution-time savings under three MC placements — P1
+/// (corners, Figure 8a), P2 (edge midpoints, Figure 26a) and P3 (top/bottom
+/// spread, Figure 26b). The paper finds P2 slightly best (~20.7% average)
+/// because its average distance-to-controller is lowest.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include <cstdio>
+
+using namespace offchip;
+
+int main() {
+  MachineConfig Config = MachineConfig::scaledDefault();
+
+  printBenchHeader("Figure 19: savings under different MC placements",
+                   "P2 (edge midpoints) slightly best; paper avg ~20.7%",
+                   Config);
+
+  const MCPlacementKind Kinds[] = {MCPlacementKind::Corners,
+                                   MCPlacementKind::EdgeMidpoints,
+                                   MCPlacementKind::TopBottomSpread};
+  const char *Names[] = {"P1-corners", "P2-edges", "P3-topbottom"};
+
+  std::printf("%-12s %12s %12s %12s\n", "app", Names[0], Names[1], Names[2]);
+  double Sum[3] = {0, 0, 0};
+  for (const std::string &Name : appNames()) {
+    AppModel App = buildApp(Name);
+    double Save[3];
+    for (unsigned P = 0; P < 3; ++P) {
+      MachineConfig C = Config;
+      C.Placement = Kinds[P];
+      ClusterMapping Mapping = makeM1Mapping(C);
+      SimResult Base = runVariant(App, C, Mapping, RunVariant::Original);
+      SimResult Opt = runVariant(App, C, Mapping, RunVariant::Optimized);
+      Save[P] = savings(static_cast<double>(Base.ExecutionCycles),
+                        static_cast<double>(Opt.ExecutionCycles));
+      Sum[P] += Save[P];
+    }
+    std::printf("%-12s %11.1f%% %11.1f%% %11.1f%%\n", Name.c_str(),
+                100.0 * Save[0], 100.0 * Save[1], 100.0 * Save[2]);
+  }
+  double N = static_cast<double>(appNames().size());
+  std::printf("%-12s %11.1f%% %11.1f%% %11.1f%%\n", "AVERAGE",
+              100.0 * Sum[0] / N, 100.0 * Sum[1] / N, 100.0 * Sum[2] / N);
+
+  // Static distance check backing the paper's explanation.
+  for (unsigned P = 0; P < 3; ++P) {
+    MachineConfig C = Config;
+    C.Placement = Kinds[P];
+    ClusterMapping Mapping = makeM1Mapping(C);
+    std::printf("%s: avg assigned-MC distance %.2f links\n", Names[P],
+                Mapping.averageDistanceToAssignedMCs());
+  }
+  return 0;
+}

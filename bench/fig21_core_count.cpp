@@ -1,0 +1,53 @@
+//===- bench/fig21_core_count.cpp - Figure 21 reproduction ----------------===//
+///
+/// Figure 21: execution-time savings on 4x4, 4x8 and 8x8 meshes (four
+/// corner MCs each). The paper: ~14% (4x4), ~18% (4x8), and the 8x8 default
+/// — savings grow with the mesh because distances (and the contention the
+/// optimization removes) grow.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include <cstdio>
+
+using namespace offchip;
+
+int main() {
+  MachineConfig Config = MachineConfig::scaledDefault();
+
+  printBenchHeader("Figure 21: savings vs core count",
+                   "savings grow with the mesh: paper ~14% (4x4), ~18% "
+                   "(4x8), 20.5% (8x8)",
+                   Config);
+
+  struct MeshSize {
+    unsigned X, Y;
+  };
+  const MeshSize Sizes[] = {{4, 4}, {4, 8}, {8, 8}};
+  std::printf("%-12s %10s %10s %10s\n", "app", "4x4", "4x8", "8x8");
+  double Sum[3] = {0, 0, 0};
+  for (const std::string &Name : appNames()) {
+    double Save[3];
+    for (unsigned I = 0; I < 3; ++I) {
+      MachineConfig C = Config;
+      C.MeshX = Sizes[I].X;
+      C.MeshY = Sizes[I].Y;
+      ClusterMapping Mapping = makeM1Mapping(C);
+      // Keep per-core work comparable across machine sizes.
+      double Scale = static_cast<double>(C.numNodes()) / 64.0;
+      AppModel App = buildApp(Name, Scale < 0.3 ? 0.5 : Scale);
+      SimResult Base = runVariant(App, C, Mapping, RunVariant::Original);
+      SimResult Opt = runVariant(App, C, Mapping, RunVariant::Optimized);
+      Save[I] = savings(static_cast<double>(Base.ExecutionCycles),
+                        static_cast<double>(Opt.ExecutionCycles));
+      Sum[I] += Save[I];
+    }
+    std::printf("%-12s %9.1f%% %9.1f%% %9.1f%%\n", Name.c_str(),
+                100.0 * Save[0], 100.0 * Save[1], 100.0 * Save[2]);
+  }
+  double N = static_cast<double>(appNames().size());
+  std::printf("%-12s %9.1f%% %9.1f%% %9.1f%%\n", "AVERAGE", 100.0 * Sum[0] / N,
+              100.0 * Sum[1] / N, 100.0 * Sum[2] / N);
+  return 0;
+}

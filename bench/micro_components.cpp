@@ -1,0 +1,109 @@
+//===- bench/micro_components.cpp - component microbenchmarks -------------===//
+///
+/// google-benchmark timings of the pieces the experiments lean on: the
+/// Data-to-Core solve, full layout-pass runs, customized-layout address
+/// computation (the source of the ~4% overhead of Section 6.1), XY-routed
+/// message injection, and DRAM bank service.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/LayoutTransformer.h"
+#include "dram/MemoryController.h"
+#include "harness/Experiment.h"
+#include "noc/Network.h"
+#include "workloads/AppModel.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace offchip;
+
+namespace {
+
+MachineConfig benchConfig() { return MachineConfig::scaledDefault(); }
+
+void BM_DataToCoreSolve(benchmark::State &State) {
+  AppModel App = buildApp("swim", 0.25);
+  std::vector<WeightedAccess> Accesses;
+  for (const LoopNest &Nest : App.Program.nests())
+    for (const AffineRef &Ref : Nest.refs())
+      Accesses.push_back(
+          {Ref.accessMatrix(), Nest.partitionDim(), Nest.dynamicWeight(),
+           Ref.offset()});
+  for (auto _ : State) {
+    DataToCoreResult R = solveDataToCore(2, Accesses);
+    benchmark::DoNotOptimize(R.Found);
+  }
+}
+BENCHMARK(BM_DataToCoreSolve);
+
+void BM_LayoutPassWholeProgram(benchmark::State &State) {
+  MachineConfig C = benchConfig();
+  ClusterMapping Mapping = makeM1Mapping(C);
+  AppModel App = buildApp("mgrid", 0.25);
+  LayoutTransformer Pass(Mapping, C.layoutOptions());
+  for (auto _ : State) {
+    LayoutPlan Plan = Pass.run(App.Program);
+    benchmark::DoNotOptimize(Plan.PerArray.size());
+  }
+}
+BENCHMARK(BM_LayoutPassWholeProgram);
+
+void BM_PrivateLayoutAddressCompute(benchmark::State &State) {
+  MachineConfig C = benchConfig();
+  ClusterMapping Mapping = makeM1Mapping(C);
+  ArrayDecl Decl{"a", {512, 512}, 8};
+  PrivateL2Layout Layout(Decl, IntMatrix::identity(2), Mapping,
+                         C.L2LineBytes / 8);
+  IntVector V{0, 0};
+  std::int64_t I = 0;
+  for (auto _ : State) {
+    V[0] = I % 512;
+    V[1] = (I * 7) % 512;
+    ++I;
+    benchmark::DoNotOptimize(Layout.elementOffset(V));
+  }
+}
+BENCHMARK(BM_PrivateLayoutAddressCompute);
+
+void BM_RowMajorAddressCompute(benchmark::State &State) {
+  ArrayDecl Decl{"a", {512, 512}, 8};
+  RowMajorLayout Layout(Decl);
+  IntVector V{0, 0};
+  std::int64_t I = 0;
+  for (auto _ : State) {
+    V[0] = I % 512;
+    V[1] = (I * 7) % 512;
+    ++I;
+    benchmark::DoNotOptimize(Layout.elementOffset(V));
+  }
+}
+BENCHMARK(BM_RowMajorAddressCompute);
+
+void BM_NetworkSend(benchmark::State &State) {
+  Mesh M(8, 8);
+  Network Net(M, NocConfig());
+  std::uint64_t T = 0;
+  unsigned Src = 0;
+  for (auto _ : State) {
+    MessageResult R = Net.send(Src, 63 - Src, 256, T);
+    T = R.ArrivalTime;
+    Src = (Src + 1) % 64;
+    benchmark::DoNotOptimize(R.ArrivalTime);
+  }
+}
+BENCHMARK(BM_NetworkSend);
+
+void BM_DramAccess(benchmark::State &State) {
+  MemoryController MC(0, DramConfig());
+  std::uint64_t T = 0;
+  std::uint64_t A = 0;
+  for (auto _ : State) {
+    DramAccessResult R = MC.access(A, T);
+    T = R.CompleteTime;
+    A += 4096 * 3; // mix of row hits and conflicts
+    benchmark::DoNotOptimize(R.CompleteTime);
+  }
+}
+BENCHMARK(BM_DramAccess);
+
+} // namespace

@@ -1,0 +1,44 @@
+//===- examples/emit_transformed_code.cpp - the Figure 9(c) view ----------===//
+///
+/// The paper's pass is a source-to-source translator. This example prints
+/// the transformed code for the running example of Figure 9 and for one of
+/// the application models: the flat strip-mined/permuted subscript
+/// expressions (with their cluster-sequence lookup tables) that the
+/// simulator evaluates are exactly what the generated source computes.
+///
+/// Run: ./build/examples/emit_transformed_code
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/CodeGen.h"
+#include "harness/Experiment.h"
+
+#include <cstdio>
+
+using namespace offchip;
+
+int main() {
+  MachineConfig Config = MachineConfig::scaledDefault();
+  ClusterMapping Mapping = makeM1Mapping(Config);
+
+  // Figure 9(a): Z[j-1][i] + Z[j][i] + Z[j+1][i], outer loop parallel.
+  AffineProgram P("figure9");
+  ArrayId Z = P.addArray({"z", {256, 256}, 8});
+  LoopNest Nest("stencil", IterationSpace({0, 1}, {256, 255}), 0);
+  IntMatrix T = IntMatrix::fromRows({{0, 1}, {1, 0}});
+  Nest.addRef(AffineRef(Z, T, {-1, 0}, false));
+  Nest.addRef(AffineRef(Z, T, {0, 0}, false));
+  Nest.addRef(AffineRef(Z, T, {1, 0}, true));
+  P.addNest(std::move(Nest));
+
+  LayoutTransformer Pass(Mapping, Config.layoutOptions());
+  LayoutPlan Plan = Pass.run(P);
+
+  std::printf("%s\n", emitProgram(P, Plan).c_str());
+
+  std::printf("\n==== same pass over the 'mgrid' application model ====\n\n");
+  AppModel App = buildApp("mgrid", 0.25);
+  LayoutPlan AppPlan = Pass.run(App.Program);
+  std::printf("%s", emitProgram(App.Program, AppPlan).c_str());
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- examples/mapping_explorer.cpp - exploring L2-to-MC mappings --------===//
+///
+/// The locality-vs-parallelism tradeoff of Section 4: builds the two
+/// mappings of Figure 8 (and an invalid one, to show validation), scores
+/// them with the compiler analysis for every application model, and runs a
+/// low-demand and a high-demand app under both to show the crossover that
+/// Figure 17 measures.
+///
+/// Run: ./build/examples/mapping_explorer
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/MappingSelector.h"
+#include "harness/Experiment.h"
+
+#include <cstdio>
+
+using namespace offchip;
+
+int main() {
+  MachineConfig Config = MachineConfig::scaledDefault();
+  Mesh M(Config.MeshX, Config.MeshY);
+  std::vector<unsigned> MCNodes =
+      placeMemoryControllers(M, Config.NumMCs, Config.Placement);
+
+  // Validation: not any L2-to-MC mapping is legal (Section 4).
+  std::string Err;
+  auto Bad = ClusterMapping::create(M, MCNodes, 2, 2,
+                                    {{0}, {0}, {0}, {3}}, &Err);
+  std::printf("invalid mapping rejected: %s\n\n",
+              Bad ? "(unexpectedly accepted!)" : Err.c_str());
+
+  ClusterMapping M1 = makeM1Mapping(Config);
+  ClusterMapping M2 = makeM2Mapping(Config);
+  std::printf("M1 (Figure 8a): %u clusters x %u MC,  avg distance %.2f\n",
+              M1.numClusters(), M1.mcsPerCluster(),
+              M1.averageDistanceToAssignedMCs());
+  std::printf("M2 (Figure 8b): %u clusters x %u MCs, avg distance %.2f\n\n",
+              M2.numClusters(), M2.mcsPerCluster(),
+              M2.averageDistanceToAssignedMCs());
+
+  // The compiler analysis of Section 4, applied to each application model.
+  std::printf("%-12s %8s %12s %12s %8s\n", "app", "demand", "M1-cost",
+              "M2-cost", "pick");
+  for (const std::string &Name : appNames()) {
+    AppModel App = buildApp(Name, 0.25);
+    MappingScore S1 = scoreMapping(M1, App.MemDemandPerCore);
+    MappingScore S2 = scoreMapping(M2, App.MemDemandPerCore);
+    unsigned Pick = selectBestMapping({&M1, &M2}, App.MemDemandPerCore);
+    std::printf("%-12s %8.2f %12.1f %12.1f %8s\n", Name.c_str(),
+                App.MemDemandPerCore, S1.Combined, S2.Combined,
+                Pick == 0 ? "M1" : "M2");
+  }
+
+  // Confirm the analysis against the simulator with one app from each camp.
+  std::printf("\nsimulated execution-time savings (vs original layout):\n");
+  std::printf("%-12s %10s %10s\n", "app", "M1", "M2");
+  for (const char *Name : {"mgrid", "fma3d"}) {
+    AppModel App = buildApp(Name, 0.5);
+    SimResult Base = runVariant(App, Config, M1, RunVariant::Original);
+    SimResult OptM1 = runVariant(App, Config, M1, RunVariant::Optimized);
+    SimResult OptM2 = runVariant(App, Config, M2, RunVariant::Optimized);
+    std::printf("%-12s %9.1f%% %9.1f%%\n", Name,
+                100.0 * savings(static_cast<double>(Base.ExecutionCycles),
+                                static_cast<double>(OptM1.ExecutionCycles)),
+                100.0 * savings(static_cast<double>(Base.ExecutionCycles),
+                                static_cast<double>(OptM2.ExecutionCycles)));
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+//===- examples/shared_vs_private.cpp - the two cache organizations -------===//
+///
+/// Runs the same application on the private-L2 machine (Figure 2a) and the
+/// shared SNUCA machine (Figure 2b), original vs optimized, and reports the
+/// flows side by side: where L1 misses are satisfied, how far messages
+/// travel, and what the layout customization changes in each organization.
+///
+/// Run: ./build/examples/shared_vs_private
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include <cstdio>
+
+using namespace offchip;
+
+namespace {
+
+void report(const char *Title, const SimResult &R) {
+  double Total = static_cast<double>(R.TotalAccesses);
+  std::printf("%-22s exec=%9llu  L1=%5.1f%%  L2=%5.1f%%  remote=%5.1f%%  "
+              "offchip=%4.1f%%  hops(on)=%4.2f  hops(off)=%4.2f\n",
+              Title, static_cast<unsigned long long>(R.ExecutionCycles),
+              100.0 * static_cast<double>(R.L1Hits) / Total,
+              100.0 * static_cast<double>(R.LocalL2Hits) / Total,
+              100.0 * static_cast<double>(R.RemoteL2Hits) / Total,
+              100.0 * R.offChipFraction(), R.OnChipMsgHops.mean(),
+              R.OffChipMsgHops.mean());
+}
+
+} // namespace
+
+int main() {
+  AppModel App = buildApp("mgrid");
+  std::printf("application: %s (%s)\n\n", App.Program.name().c_str(),
+              App.Summary.c_str());
+
+  for (bool Shared : {false, true}) {
+    MachineConfig Config = MachineConfig::scaledDefault();
+    Config.SharedL2 = Shared;
+    ClusterMapping Mapping = makeM1Mapping(Config);
+    std::printf("=== %s L2 (%s) ===\n", Shared ? "shared SNUCA" : "private",
+                Shared ? "Figure 2b flow: L1 -> home bank -> MC"
+                       : "Figure 2a flow: L1 -> local L2 -> directory@MC");
+    SimResult Base = runVariant(App, Config, Mapping, RunVariant::Original);
+    SimResult Opt = runVariant(App, Config, Mapping, RunVariant::Optimized);
+    report("original", Base);
+    report("optimized", Opt);
+    SavingsSummary S = summarizeSavings(Base, Opt);
+    std::printf("savings: exec %.1f%%, on-chip net %.1f%%, off-chip net "
+                "%.1f%%, mem %.1f%%\n\n",
+                100.0 * S.ExecutionTime, 100.0 * S.OnChipNetLatency,
+                100.0 * S.OffChipNetLatency, 100.0 * S.MemLatency);
+  }
+
+  std::printf("note how the shared-L2 optimization moves 'remote' bank hits "
+              "next to their owners (on-chip hop count collapses), while the "
+              "private-L2 optimization's gains are on the off-chip legs.\n");
+  return 0;
+}

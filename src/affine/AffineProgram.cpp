@@ -1,0 +1,61 @@
+//===- affine/AffineProgram.cpp -------------------------------------------===//
+
+#include "affine/AffineProgram.h"
+
+using namespace offchip;
+
+ArrayId AffineProgram::addArray(ArrayDecl Decl) {
+  Arrays.push_back(std::move(Decl));
+  IndexValues.emplace_back();
+  return static_cast<ArrayId>(Arrays.size() - 1);
+}
+
+void AffineProgram::setIndexArrayValues(ArrayId Id,
+                                        std::vector<std::int64_t> Values) {
+  assert(Id < IndexValues.size() && "array id out of range");
+  IndexValues[Id] = std::move(Values);
+}
+
+LoopNest &AffineProgram::addNest(LoopNest Nest) {
+  Nests.push_back(std::move(Nest));
+  return Nests.back();
+}
+
+LoopNest &AffineProgram::addNestAtFront(LoopNest Nest) {
+  Nests.insert(Nests.begin(), std::move(Nest));
+  return Nests.front();
+}
+
+const std::vector<std::int64_t> *
+AffineProgram::indexArrayValues(ArrayId Id) const {
+  assert(Id < IndexValues.size() && "array id out of range");
+  if (IndexValues[Id].empty())
+    return nullptr;
+  return &IndexValues[Id];
+}
+
+bool AffineProgram::isIndexedlyAccessed(ArrayId Id) const {
+  for (const LoopNest &Nest : Nests)
+    for (const IndexedRef &Ref : Nest.indexedRefs())
+      if (Ref.DataArray == Id)
+        return true;
+  return false;
+}
+
+bool AffineProgram::isAffinelyAccessed(ArrayId Id) const {
+  for (const LoopNest &Nest : Nests)
+    for (const AffineRef &Ref : Nest.refs())
+      if (Ref.arrayId() == Id)
+        return true;
+  return false;
+}
+
+std::uint64_t AffineProgram::totalDynamicRefs() const {
+  std::uint64_t Total = 0;
+  for (const LoopNest &Nest : Nests) {
+    std::uint64_t RefsPerIter =
+        Nest.refs().size() + 2 * Nest.indexedRefs().size();
+    Total += Nest.dynamicWeight() * RefsPerIter;
+  }
+  return Total;
+}

@@ -1,0 +1,46 @@
+//===- affine/IndexGen.cpp ------------------------------------------------===//
+
+#include "affine/IndexGen.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace offchip;
+
+std::vector<std::int64_t> offchip::makeNearbyIndices(std::uint64_t Count,
+                                                     std::int64_t DataExtent,
+                                                     std::int64_t Window,
+                                                     std::uint64_t Seed) {
+  assert(DataExtent > 0 && "empty data array");
+  SplitMix64 Rng(Seed);
+  std::vector<std::int64_t> Values(Count);
+  for (std::uint64_t S = 0; S < Count; ++S) {
+    std::int64_t Ramp = Count <= 1
+                            ? 0
+                            : static_cast<std::int64_t>(
+                                  (S * static_cast<std::uint64_t>(DataExtent)) /
+                                  Count);
+    std::int64_t Jitter =
+        Window == 0 ? 0
+                    : static_cast<std::int64_t>(
+                          Rng.nextBelow(2 * Window + 1)) -
+                          Window;
+    Values[S] = std::clamp<std::int64_t>(Ramp + Jitter, 0, DataExtent - 1);
+  }
+  return Values;
+}
+
+std::vector<std::int64_t> offchip::makeRandomIndices(std::uint64_t Count,
+                                                     std::int64_t DataExtent,
+                                                     std::uint64_t Seed) {
+  assert(DataExtent > 0 && "empty data array");
+  SplitMix64 Rng(Seed);
+  std::vector<std::int64_t> Values(Count);
+  for (std::uint64_t S = 0; S < Count; ++S)
+    Values[S] =
+        static_cast<std::int64_t>(Rng.nextBelow(static_cast<std::uint64_t>(
+            DataExtent)));
+  return Values;
+}

@@ -1,0 +1,33 @@
+//===- affine/IndexGen.h - Index-array content generators -------*- C++ -*-===//
+///
+/// \file
+/// Deterministic generators for index-array contents: the window-local
+/// patterns of neighbor lists / banded sparse matrices (approximable per
+/// Section 5.4) and uniformly random patterns (unapproximable on purpose).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_AFFINE_INDEXGEN_H
+#define OFFCHIP_AFFINE_INDEXGEN_H
+
+#include <cstdint>
+#include <vector>
+
+namespace offchip {
+
+/// Generates index-array contents pointing near a linear ramp over
+/// [0, DataExtent): value[s] = clamp(ramp(s) + uniform(-Window, Window)).
+/// Small windows are approximable (Section 5.4), huge windows are not.
+std::vector<std::int64_t> makeNearbyIndices(std::uint64_t Count,
+                                            std::int64_t DataExtent,
+                                            std::int64_t Window,
+                                            std::uint64_t Seed);
+
+/// Generates a uniformly random index array (unapproximable on purpose).
+std::vector<std::int64_t> makeRandomIndices(std::uint64_t Count,
+                                            std::int64_t DataExtent,
+                                            std::uint64_t Seed);
+
+} // namespace offchip
+
+#endif // OFFCHIP_AFFINE_INDEXGEN_H

@@ -1,0 +1,180 @@
+//===- affine/IndexProfile.cpp --------------------------------------------===//
+
+#include "affine/IndexProfile.h"
+
+#include <cmath>
+#include <vector>
+
+using namespace offchip;
+
+namespace {
+
+/// Solves the (Depth+1)-variable normal equations N*x = b with
+/// Gauss-Jordan elimination over doubles. Unidentifiable coefficients
+/// (zero-pivot columns, e.g. an iterator the sampling never varied) are
+/// pinned to zero instead of failing the whole fit. \returns false only
+/// when nothing is identifiable.
+bool solveNormalEquations(std::vector<std::vector<double>> &N,
+                          std::vector<double> &B, std::vector<double> &X) {
+  std::size_t K = B.size();
+  std::vector<bool> Pinned(K, false);
+  for (std::size_t Col = 0; Col < K; ++Col) {
+    // Partial pivot within this column.
+    std::size_t Pivot = Col;
+    for (std::size_t R = Col + 1; R < K; ++R)
+      if (std::fabs(N[R][Col]) > std::fabs(N[Pivot][Col]))
+        Pivot = R;
+    if (std::fabs(N[Pivot][Col]) < 1e-9) {
+      Pinned[Col] = true; // coefficient not identifiable from the samples
+      continue;
+    }
+    std::swap(N[Col], N[Pivot]);
+    std::swap(B[Col], B[Pivot]);
+    for (std::size_t R = 0; R < K; ++R) {
+      if (R == Col)
+        continue;
+      double F = N[R][Col] / N[Col][Col];
+      if (F == 0.0)
+        continue;
+      for (std::size_t C = Col; C < K; ++C)
+        N[R][C] -= F * N[Col][C];
+      B[R] -= F * B[Col];
+    }
+  }
+  X.assign(K, 0.0);
+  bool Any = false;
+  for (std::size_t I = 0; I < K; ++I) {
+    if (Pinned[I])
+      continue;
+    X[I] = B[I] / N[I][I];
+    Any = true;
+  }
+  return Any;
+}
+
+} // namespace
+
+std::optional<IndexApproximation>
+offchip::approximateIndexedRef(const AffineProgram &Program,
+                               const LoopNest &Nest, const IndexedRef &Ref,
+                               std::uint64_t MaxSamples) {
+  const std::vector<std::int64_t> *Values =
+      Program.indexArrayValues(Ref.IndexArray);
+  if (!Values)
+    return std::nullopt;
+  const ArrayDecl &Data = Program.array(Ref.DataArray);
+  if (Data.rank() != 1)
+    return std::nullopt;
+  const ArrayDecl &Index = Program.array(Ref.IndexArray);
+
+  const IterationSpace &Space = Nest.space();
+  std::uint64_t Trip = Space.tripCount();
+  if (Trip == 0)
+    return std::nullopt;
+
+  unsigned Depth = Space.depth();
+  std::uint64_t Stride = Trip <= MaxSamples ? 1 : Trip / MaxSamples;
+  // An odd stride avoids degenerate sampling patterns that freeze inner
+  // iterators (e.g. a stride divisible by the innermost extent).
+  if (Stride % 2 == 0)
+    ++Stride;
+
+  // Accumulate normal equations for d ~= c0 + sum c_j i_j.
+  std::size_t K = Depth + 1;
+  std::vector<std::vector<double>> N(K, std::vector<double>(K, 0.0));
+  std::vector<double> B(K, 0.0);
+
+  struct Sample {
+    IntVector Iter;
+    double D;
+  };
+  std::vector<Sample> Samples;
+
+  IntVector Iter = Space.firstIteration();
+  std::uint64_t Pos = 0;
+  bool More = !Space.isEmpty();
+  while (More) {
+    if (Pos % Stride == 0) {
+      IntVector IndexVec = Ref.IndexAccess.evaluate(Iter);
+      // Index arrays are flattened for profiling: linearize via the decl.
+      if (Index.contains(IndexVec)) {
+        std::uint64_t Slot = Index.linearize(IndexVec);
+        if (Slot < Values->size()) {
+          double D = static_cast<double>((*Values)[Slot]);
+          std::vector<double> Row(K);
+          Row[0] = 1.0;
+          for (unsigned J = 0; J < Depth; ++J)
+            Row[J + 1] = static_cast<double>(Iter[J]);
+          for (std::size_t R = 0; R < K; ++R) {
+            for (std::size_t C = 0; C < K; ++C)
+              N[R][C] += Row[R] * Row[C];
+            B[R] += Row[R] * D;
+          }
+          Samples.push_back({Iter, D});
+        }
+      }
+    }
+    ++Pos;
+    More = Space.nextIteration(Iter);
+  }
+  if (Samples.size() < K)
+    return std::nullopt;
+
+  std::vector<double> X;
+  if (!solveNormalEquations(N, B, X)) {
+    // Degenerate profile (e.g. single iteration level constant); fall back
+    // to the mean-value constant approximation.
+    X.assign(K, 0.0);
+    double Mean = 0.0;
+    for (const Sample &S : Samples)
+      Mean += S.D;
+    X[0] = Mean / static_cast<double>(Samples.size());
+  }
+
+  // Round to an integer affine reference.
+  IntMatrix Access(1, Depth);
+  for (unsigned J = 0; J < Depth; ++J)
+    Access.at(0, J) = static_cast<std::int64_t>(std::llround(X[J + 1]));
+  IntVector Offset(1, static_cast<std::int64_t>(std::llround(X[0])));
+
+  auto MeanAbsError = [&](const IntMatrix &A, const IntVector &O) {
+    AffineRef Candidate(Ref.DataArray, A, O, Ref.IsWrite);
+    double Sum = 0.0;
+    for (const Sample &S : Samples)
+      Sum += std::fabs(static_cast<double>(Candidate.evaluate(S.Iter)[0]) -
+                       S.D);
+    return Sum / static_cast<double>(Samples.size());
+  };
+
+  // Shrinkage: a noisy regression can assign a small iterator a spurious
+  // integer coefficient (which would needlessly constrain the Data-to-Core
+  // solve). Zero any coefficient whose removal does not worsen the error
+  // noticeably.
+  double CurErr = MeanAbsError(Access, Offset);
+  for (unsigned J = 0; J < Depth; ++J) {
+    if (Access.at(0, J) == 0)
+      continue;
+    IntMatrix Trial = Access;
+    Trial.at(0, J) = 0;
+    double TrialErr = MeanAbsError(Trial, Offset);
+    if (TrialErr <= CurErr * 1.1) {
+      Access = Trial;
+      CurErr = TrialErr;
+    }
+  }
+  AffineRef Approx(Ref.DataArray, Access, Offset, Ref.IsWrite);
+
+  // Mean absolute error of the *rounded* approximation, as a fraction of the
+  // data array extent.
+  double ErrSum = CurErr * static_cast<double>(Samples.size());
+  // Normalize by Extent/4, the mean absolute deviation of a uniformly
+  // random pattern: 1.0 therefore means "no better than random".
+  double Extent = static_cast<double>(Data.Dims[0]);
+  double ErrFrac =
+      Extent > 0.0
+          ? (ErrSum / static_cast<double>(Samples.size())) / (Extent / 4.0)
+          : 1.0;
+
+  IndexApproximation Result{std::move(Approx), ErrFrac, Samples.size()};
+  return Result;
+}

@@ -1,0 +1,46 @@
+//===- affine/IndexProfile.h - Profiling indexed references -----*- C++ -*-===//
+///
+/// \file
+/// Section 5.4: indexed (irregular) references are profiled, and an affine
+/// reference approximating the generated addresses is fit to the profile.
+/// The approximation can over- or under-shoot; that only costs performance,
+/// never correctness, so the fit also reports its error and callers skip
+/// references whose error is too large (the paper uses >30%).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_AFFINE_INDEXPROFILE_H
+#define OFFCHIP_AFFINE_INDEXPROFILE_H
+
+#include "affine/AffineProgram.h"
+
+#include <optional>
+
+namespace offchip {
+
+/// Result of fitting an affine function to an indexed reference's profile.
+struct IndexApproximation {
+  /// Affine reference (into the flattened data array) approximating the
+  /// indexed access pattern.
+  AffineRef Approx;
+  /// Normalized prediction error: mean absolute error divided by a quarter
+  /// of the data extent, so an uninformative fit (uniform random indices)
+  /// scores ~1.0 and the paper's 30% skip bound corresponds to windows of
+  /// roughly +-15% of the array.
+  double ErrorFraction = 0.0;
+  /// Number of profiled samples behind the fit.
+  std::uint64_t Samples = 0;
+};
+
+/// Profiles indexed reference \p Ref of \p Nest (the index array contents
+/// must have been registered with \p Program) and fits a least-squares
+/// affine approximation d ~= c0 + sum_j c_j * i_j over up to \p MaxSamples
+/// iterations. \returns std::nullopt when the index array contents are
+/// missing or the data array is not one-dimensional.
+std::optional<IndexApproximation>
+approximateIndexedRef(const AffineProgram &Program, const LoopNest &Nest,
+                      const IndexedRef &Ref, std::uint64_t MaxSamples = 4096);
+
+} // namespace offchip
+
+#endif // OFFCHIP_AFFINE_INDEXPROFILE_H

@@ -1,0 +1,69 @@
+//===- affine/IterationSpace.cpp ------------------------------------------===//
+
+#include "affine/IterationSpace.h"
+
+#include "support/MathUtil.h"
+
+#include <algorithm>
+
+using namespace offchip;
+
+IterationSpace::IterationSpace(IntVector Lower, IntVector Upper)
+    : Lower(std::move(Lower)), Upper(std::move(Upper)) {
+  assert(this->Lower.size() == this->Upper.size() &&
+         "bound vectors must have equal depth");
+}
+
+std::uint64_t IterationSpace::tripCount() const {
+  std::uint64_t N = 1;
+  for (unsigned D = 0; D < depth(); ++D) {
+    std::int64_t E = extent(D);
+    if (E <= 0)
+      return 0;
+    N *= static_cast<std::uint64_t>(E);
+  }
+  return N;
+}
+
+bool IterationSpace::isEmpty() const { return tripCount() == 0; }
+
+IterationSpace IterationSpace::restricted(unsigned D, std::int64_t NewLower,
+                                          std::int64_t NewUpper) const {
+  assert(D < depth() && "restricted dimension out of range");
+  IterationSpace S = *this;
+  S.Lower[D] = std::max(S.Lower[D], NewLower);
+  S.Upper[D] = std::min(S.Upper[D], NewUpper);
+  if (S.Lower[D] > S.Upper[D])
+    S.Upper[D] = S.Lower[D];
+  return S;
+}
+
+bool IterationSpace::nextIteration(IntVector &Iter) const {
+  assert(Iter.size() == Lower.size() && "iteration depth mismatch");
+  for (unsigned D = depth(); D > 0; --D) {
+    unsigned I = D - 1;
+    if (++Iter[I] < Upper[I])
+      return true;
+    Iter[I] = Lower[I];
+  }
+  return false;
+}
+
+IterationChunk offchip::chunkForThread(const IterationSpace &Space,
+                                       unsigned PartitionDim,
+                                       unsigned ThreadId,
+                                       unsigned NumThreads) {
+  assert(NumThreads > 0 && "need at least one thread");
+  assert(PartitionDim < Space.depth() && "partition dimension out of range");
+  std::int64_t Lo = Space.lower(PartitionDim);
+  std::int64_t Extent = Space.extent(PartitionDim);
+  if (Extent <= 0)
+    return {Lo, Lo};
+  std::int64_t ChunkSize = static_cast<std::int64_t>(
+      ceilDiv(static_cast<std::uint64_t>(Extent), NumThreads));
+  std::int64_t Begin = Lo + static_cast<std::int64_t>(ThreadId) * ChunkSize;
+  std::int64_t End = std::min(Begin + ChunkSize, Lo + Extent);
+  if (Begin > End)
+    Begin = End;
+  return {Begin, End};
+}

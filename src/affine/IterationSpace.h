@@ -1,0 +1,77 @@
+//===- affine/IterationSpace.h - Rectangular iteration spaces ---*- C++ -*-===//
+///
+/// \file
+/// Rectangular (loop-bound) iteration spaces and block-cyclic partitioning
+/// (Section 5.1). We model the common OpenMP static-schedule case: the
+/// iteration space is evenly divided into contiguous chunks along one
+/// iteration partition dimension (w = 1 set of parallel hyperplanes) and the
+/// chunks are assigned to threads in order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_AFFINE_ITERATIONSPACE_H
+#define OFFCHIP_AFFINE_ITERATIONSPACE_H
+
+#include "linalg/IntMatrix.h"
+
+#include <cstdint>
+
+namespace offchip {
+
+/// A rectangular m-dimensional iteration space; each level iterates
+/// [Lower[d], Upper[d]) with unit stride.
+class IterationSpace {
+public:
+  IterationSpace() = default;
+  IterationSpace(IntVector Lower, IntVector Upper);
+
+  unsigned depth() const { return static_cast<unsigned>(Lower.size()); }
+  std::int64_t lower(unsigned D) const { return Lower[D]; }
+  std::int64_t upper(unsigned D) const { return Upper[D]; }
+
+  /// Extent of level \p D (always >= 0).
+  std::int64_t extent(unsigned D) const { return Upper[D] - Lower[D]; }
+
+  /// Total number of iterations (product of extents).
+  std::uint64_t tripCount() const;
+
+  /// True if any level has a zero extent.
+  bool isEmpty() const;
+
+  /// \returns a copy of this space with level \p D restricted to
+  /// [NewLower, NewUpper) intersected with the original bounds.
+  IterationSpace restricted(unsigned D, std::int64_t NewLower,
+                            std::int64_t NewUpper) const;
+
+  /// First iteration vector (the all-lower-bounds point).
+  IntVector firstIteration() const { return Lower; }
+
+  /// Advances \p Iter to the next point in lexicographic order.
+  /// \returns false when the space is exhausted.
+  bool nextIteration(IntVector &Iter) const;
+
+private:
+  IntVector Lower;
+  IntVector Upper;
+};
+
+/// The contiguous range of the partition dimension owned by one thread under
+/// block distribution. Empty chunks have Begin == End.
+struct IterationChunk {
+  std::int64_t Begin = 0;
+  std::int64_t End = 0;
+
+  std::int64_t size() const { return End - Begin; }
+  bool empty() const { return Begin >= End; }
+};
+
+/// Block-partitions [Lower, Upper) of dimension \p PartitionDim of \p Space
+/// into \p NumThreads contiguous chunks (the last chunk may be smaller, as in
+/// OpenMP static scheduling) and \returns thread \p ThreadId's chunk.
+IterationChunk chunkForThread(const IterationSpace &Space,
+                              unsigned PartitionDim, unsigned ThreadId,
+                              unsigned NumThreads);
+
+} // namespace offchip
+
+#endif // OFFCHIP_AFFINE_ITERATIONSPACE_H

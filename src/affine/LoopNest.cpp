@@ -1,0 +1,13 @@
+//===- affine/LoopNest.cpp ------------------------------------------------===//
+
+#include "affine/LoopNest.h"
+
+using namespace offchip;
+
+LoopNest::LoopNest(std::string Name, IterationSpace Space,
+                   unsigned PartitionDim)
+    : Name(std::move(Name)), Space(std::move(Space)),
+      PartitionDim(PartitionDim) {
+  assert(PartitionDim < this->Space.depth() &&
+         "partition dimension out of range");
+}

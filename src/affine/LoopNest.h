@@ -1,0 +1,60 @@
+//===- affine/LoopNest.h - Parallelized affine loop nests -------*- C++ -*-===//
+///
+/// \file
+/// A parallelized affine loop nest: a rectangular iteration space, the
+/// iteration partition dimension u (the loop distributed across threads), and
+/// the array references executed in its body.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_AFFINE_LOOPNEST_H
+#define OFFCHIP_AFFINE_LOOPNEST_H
+
+#include "affine/AffineRef.h"
+#include "affine/IterationSpace.h"
+
+#include <string>
+#include <vector>
+
+namespace offchip {
+
+/// One parallelized loop nest.
+class LoopNest {
+public:
+  LoopNest() = default;
+  LoopNest(std::string Name, IterationSpace Space, unsigned PartitionDim);
+
+  const std::string &name() const { return Name; }
+  const IterationSpace &space() const { return Space; }
+  unsigned partitionDim() const { return PartitionDim; }
+
+  void addRef(AffineRef Ref) { Refs.push_back(std::move(Ref)); }
+  void addIndexedRef(IndexedRef Ref) { IndexedRefs.push_back(std::move(Ref)); }
+
+  const std::vector<AffineRef> &refs() const { return Refs; }
+  const std::vector<IndexedRef> &indexedRefs() const { return IndexedRefs; }
+
+  /// Number of times this nest executes end-to-end (outer timestep loops in
+  /// the source program are modeled as repetitions rather than extra levels).
+  unsigned repeatCount() const { return Repeats; }
+  void setRepeatCount(unsigned N) { Repeats = N == 0 ? 1 : N; }
+
+  /// Dynamic count of executions of each reference in one repetition.
+  std::uint64_t tripCount() const { return Space.tripCount(); }
+
+  /// Dynamic reference weight used by the multi-reference resolution
+  /// (Section 5.2): trip count times repetitions.
+  std::uint64_t dynamicWeight() const { return tripCount() * Repeats; }
+
+private:
+  std::string Name;
+  IterationSpace Space;
+  unsigned PartitionDim = 0;
+  unsigned Repeats = 1;
+  std::vector<AffineRef> Refs;
+  std::vector<IndexedRef> IndexedRefs;
+};
+
+} // namespace offchip
+
+#endif // OFFCHIP_AFFINE_LOOPNEST_H

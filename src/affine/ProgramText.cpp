@@ -1,0 +1,431 @@
+//===- affine/ProgramText.cpp ---------------------------------------------===//
+
+#include "affine/ProgramText.h"
+
+#include "affine/IndexGen.h"
+#include "support/Format.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+using namespace offchip;
+
+namespace {
+
+/// Tokenizes one line into whitespace-separated words, honoring '#'
+/// comments and treating '[', ']' and ',' as separate tokens.
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  auto Flush = [&] {
+    if (!Cur.empty()) {
+      Out.push_back(Cur);
+      Cur.clear();
+    }
+  };
+  for (char C : Line) {
+    if (C == '#')
+      break;
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Flush();
+      continue;
+    }
+    if (C == '[' || C == ']' || C == ',') {
+      Flush();
+      Out.push_back(std::string(1, C));
+      continue;
+    }
+    Cur += C;
+  }
+  Flush();
+  return Out;
+}
+
+/// Parses an affine subscript expression over iterators i0..i<Depth-1>,
+/// e.g. "2*i0-3" or "i1+1". \returns false on malformed input.
+bool parseAffineExpr(const std::string &Text, unsigned Depth,
+                     IntVector &Coeffs, std::int64_t &Const) {
+  Coeffs.assign(Depth, 0);
+  Const = 0;
+  std::size_t Pos = 0;
+  int Sign = 1;
+  bool First = true;
+  while (Pos < Text.size()) {
+    char C = Text[Pos];
+    if (C == '+') {
+      Sign = 1;
+      ++Pos;
+      continue;
+    }
+    if (C == '-') {
+      Sign = -1;
+      ++Pos;
+      continue;
+    }
+    // A term: [k*]iN or a constant k.
+    std::int64_t K = 1;
+    bool HaveNumber = false;
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      std::size_t End = Pos;
+      while (End < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[End])))
+        ++End;
+      K = std::stoll(Text.substr(Pos, End - Pos));
+      Pos = End;
+      HaveNumber = true;
+      if (Pos < Text.size() && Text[Pos] == '*')
+        ++Pos;
+      else {
+        Const += Sign * K;
+        Sign = 1;
+        First = false;
+        continue;
+      }
+    }
+    if (Pos >= Text.size() || Text[Pos] != 'i')
+      return false;
+    ++Pos;
+    std::size_t End = Pos;
+    while (End < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[End])))
+      ++End;
+    if (End == Pos)
+      return false;
+    unsigned Dim = static_cast<unsigned>(std::stoul(Text.substr(Pos, End - Pos)));
+    if (Dim >= Depth)
+      return false;
+    Pos = End;
+    Coeffs[Dim] += Sign * K;
+    Sign = 1;
+    First = false;
+    (void)HaveNumber;
+  }
+  return !First || Depth == 0;
+}
+
+/// Joins tokens between '[' and ']' back into comma-separated expressions.
+bool collectSubscripts(const std::vector<std::string> &Tok, std::size_t &I,
+                       std::vector<std::string> &Exprs) {
+  if (I >= Tok.size() || Tok[I] != "[")
+    return false;
+  ++I;
+  std::string Cur;
+  for (; I < Tok.size(); ++I) {
+    if (Tok[I] == "]") {
+      if (!Cur.empty())
+        Exprs.push_back(Cur);
+      ++I;
+      return !Exprs.empty();
+    }
+    if (Tok[I] == ",") {
+      if (Cur.empty())
+        return false;
+      Exprs.push_back(Cur);
+      Cur.clear();
+      continue;
+    }
+    Cur += Tok[I];
+  }
+  return false;
+}
+
+std::string affineToText(const IntVector &Coeffs, std::int64_t Const) {
+  std::string Out;
+  for (std::size_t D = 0; D < Coeffs.size(); ++D) {
+    std::int64_t K = Coeffs[D];
+    if (K == 0)
+      continue;
+    if (!Out.empty() && K > 0)
+      Out += "+";
+    if (K == -1)
+      Out += "-";
+    else if (K != 1)
+      Out += formatString("%lld*", static_cast<long long>(K));
+    Out += formatString("i%zu", D);
+  }
+  if (Const != 0 || Out.empty()) {
+    if (!Out.empty() && Const > 0)
+      Out += "+";
+    Out += formatString("%lld", static_cast<long long>(Const));
+  }
+  return Out;
+}
+
+} // namespace
+
+std::optional<AffineProgram>
+offchip::parseProgramText(const std::string &Text, std::string *Error) {
+  auto Fail = [&](unsigned LineNo,
+                  const std::string &Msg) -> std::optional<AffineProgram> {
+    if (Error)
+      *Error = formatString("line %u: %s", LineNo, Msg.c_str());
+    return std::nullopt;
+  };
+
+  std::optional<AffineProgram> Program;
+  std::map<std::string, ArrayId> Arrays;
+  LoopNest *CurNest = nullptr;
+  // Deferred: index generators run after all arrays are declared.
+  struct PendingIndex {
+    std::string IndexArray;
+    std::string Kind; // "nearby" | "random" | "values"
+    std::int64_t Window = 0;
+    std::uint64_t Seed = 0;
+    std::string DataArray;
+    std::vector<std::int64_t> Values;
+    unsigned LineNo;
+  };
+  std::vector<PendingIndex> Pending;
+
+  std::istringstream In(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  std::vector<LoopNest> Nests; // staged; appended to the program on "end"
+
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::vector<std::string> Tok = tokenize(Line);
+    if (Tok.empty())
+      continue;
+    const std::string &Kw = Tok[0];
+
+    if (Kw == "program") {
+      if (Tok.size() != 2)
+        return Fail(LineNo, "expected: program <name>");
+      if (Program)
+        return Fail(LineNo, "duplicate program directive");
+      Program.emplace(Tok[1]);
+      continue;
+    }
+    if (!Program)
+      return Fail(LineNo, "the file must start with 'program <name>'");
+
+    if (Kw == "array") {
+      // array <name> dims <d...> elem <bytes>
+      if (Tok.size() < 5 || Tok[2] != "dims")
+        return Fail(LineNo, "expected: array <name> dims <d...> elem <n>");
+      std::size_t I = 3;
+      IntVector Dims;
+      while (I < Tok.size() && Tok[I] != "elem")
+        Dims.push_back(std::stoll(Tok[I++]));
+      if (Dims.empty() || I + 1 >= Tok.size() || Tok[I] != "elem")
+        return Fail(LineNo, "expected: array <name> dims <d...> elem <n>");
+      unsigned Elem = static_cast<unsigned>(std::stoul(Tok[I + 1]));
+      if (Arrays.count(Tok[1]))
+        return Fail(LineNo, "duplicate array '" + Tok[1] + "'");
+      Arrays[Tok[1]] = Program->addArray({Tok[1], Dims, Elem});
+      continue;
+    }
+
+    if (Kw == "index") {
+      // index <arr> nearby <window> <seed> for <data>
+      // index <arr> random <seed> for <data>
+      // index <arr> values <v...>
+      if (Tok.size() < 3)
+        return Fail(LineNo, "malformed index directive");
+      PendingIndex P;
+      P.IndexArray = Tok[1];
+      P.Kind = Tok[2];
+      P.LineNo = LineNo;
+      if (P.Kind == "nearby") {
+        if (Tok.size() != 7 || Tok[5] != "for")
+          return Fail(LineNo,
+                      "expected: index <a> nearby <window> <seed> for <d>");
+        P.Window = std::stoll(Tok[3]);
+        P.Seed = std::stoull(Tok[4]);
+        P.DataArray = Tok[6];
+      } else if (P.Kind == "random") {
+        if (Tok.size() != 6 || Tok[4] != "for")
+          return Fail(LineNo, "expected: index <a> random <seed> for <d>");
+        P.Seed = std::stoull(Tok[3]);
+        P.DataArray = Tok[5];
+      } else if (P.Kind == "values") {
+        for (std::size_t I = 3; I < Tok.size(); ++I)
+          P.Values.push_back(std::stoll(Tok[I]));
+      } else {
+        return Fail(LineNo, "unknown index generator '" + P.Kind + "'");
+      }
+      Pending.push_back(std::move(P));
+      continue;
+    }
+
+    if (Kw == "nest") {
+      // nest <name> bounds <lo:hi>... parallel <u> [repeat <n>]
+      if (CurNest)
+        return Fail(LineNo, "nested 'nest' without 'end'");
+      std::size_t I = 2;
+      if (Tok.size() < 5 || Tok[I] != "bounds")
+        return Fail(LineNo, "expected: nest <name> bounds <lo:hi>... "
+                            "parallel <dim> [repeat <n>]");
+      ++I;
+      IntVector Lo, Hi;
+      while (I < Tok.size() && Tok[I] != "parallel") {
+        std::size_t Colon = Tok[I].find(':');
+        if (Colon == std::string::npos)
+          return Fail(LineNo, "bound must be <lo>:<hi>");
+        Lo.push_back(std::stoll(Tok[I].substr(0, Colon)));
+        Hi.push_back(std::stoll(Tok[I].substr(Colon + 1)));
+        ++I;
+      }
+      if (Lo.empty() || I + 1 >= Tok.size())
+        return Fail(LineNo, "missing parallel dimension");
+      unsigned U = static_cast<unsigned>(std::stoul(Tok[I + 1]));
+      if (U >= Lo.size())
+        return Fail(LineNo, "parallel dimension out of range");
+      unsigned Repeat = 1;
+      if (I + 3 < Tok.size() && Tok[I + 2] == "repeat")
+        Repeat = static_cast<unsigned>(std::stoul(Tok[I + 3]));
+      Nests.emplace_back(Tok[1], IterationSpace(Lo, Hi), U);
+      Nests.back().setRepeatCount(Repeat);
+      CurNest = &Nests.back();
+      continue;
+    }
+
+    if (Kw == "end") {
+      if (!CurNest)
+        return Fail(LineNo, "'end' without 'nest'");
+      CurNest = nullptr;
+      continue;
+    }
+
+    if (Kw == "read" || Kw == "write" || Kw == "gather-read" ||
+        Kw == "gather-write") {
+      if (!CurNest)
+        return Fail(LineNo, "reference outside a nest");
+      bool Gather = Kw.rfind("gather", 0) == 0;
+      bool Write = Kw == "write" || Kw == "gather-write";
+      std::size_t I = 1;
+      if (I >= Tok.size())
+        return Fail(LineNo, "missing array name");
+      std::string Target = Tok[I++];
+      std::string Via;
+      if (Gather) {
+        if (I + 1 >= Tok.size() || Tok[I] != "via")
+          return Fail(LineNo, "gather reference needs 'via <indexarray>'");
+        Via = Tok[I + 1];
+        I += 2;
+      }
+      std::vector<std::string> Exprs;
+      if (!collectSubscripts(Tok, I, Exprs))
+        return Fail(LineNo, "malformed subscript list");
+      unsigned Depth = CurNest->space().depth();
+      std::string AccessedName = Gather ? Via : Target;
+      auto ArrIt = Arrays.find(AccessedName);
+      if (ArrIt == Arrays.end())
+        return Fail(LineNo, "unknown array '" + AccessedName + "'");
+      const ArrayDecl &Decl = Program->array(ArrIt->second);
+      if (Exprs.size() != Decl.rank())
+        return Fail(LineNo, "subscript count does not match array rank");
+      IntMatrix A(Decl.rank(), Depth);
+      IntVector O(Decl.rank());
+      for (unsigned D = 0; D < Decl.rank(); ++D) {
+        IntVector Coeffs;
+        std::int64_t Const;
+        if (!parseAffineExpr(Exprs[D], Depth, Coeffs, Const))
+          return Fail(LineNo, "malformed expression '" + Exprs[D] + "'");
+        for (unsigned J = 0; J < Depth; ++J)
+          A.at(D, J) = Coeffs[J];
+        O[D] = Const;
+      }
+      if (!Gather) {
+        CurNest->addRef(AffineRef(ArrIt->second, A, O, Write));
+      } else {
+        auto DataIt = Arrays.find(Target);
+        if (DataIt == Arrays.end())
+          return Fail(LineNo, "unknown array '" + Target + "'");
+        CurNest->addIndexedRef(
+            {DataIt->second, ArrIt->second,
+             AffineRef(ArrIt->second, A, O, false), Write});
+      }
+      continue;
+    }
+
+    return Fail(LineNo, "unknown directive '" + Kw + "'");
+  }
+  if (CurNest)
+    return Fail(LineNo, "missing 'end' for the last nest");
+  if (!Program)
+    return Fail(LineNo, "empty input");
+
+  // Resolve index generators now that every array exists.
+  for (const PendingIndex &P : Pending) {
+    auto It = Arrays.find(P.IndexArray);
+    if (It == Arrays.end())
+      return Fail(P.LineNo, "unknown index array '" + P.IndexArray + "'");
+    std::uint64_t Count = Program->array(It->second).numElements();
+    if (P.Kind == "values") {
+      if (P.Values.size() != Count)
+        return Fail(P.LineNo, "value count does not match the array size");
+      Program->setIndexArrayValues(It->second, P.Values);
+      continue;
+    }
+    auto DataIt = Arrays.find(P.DataArray);
+    if (DataIt == Arrays.end())
+      return Fail(P.LineNo, "unknown data array '" + P.DataArray + "'");
+    std::int64_t Extent = Program->array(DataIt->second).Dims[0];
+    Program->setIndexArrayValues(
+        It->second, P.Kind == "nearby"
+                        ? makeNearbyIndices(Count, Extent, P.Window, P.Seed)
+                        : makeRandomIndices(Count, Extent, P.Seed));
+  }
+  for (LoopNest &Nest : Nests)
+    Program->addNest(std::move(Nest));
+  return Program;
+}
+
+std::string offchip::printProgramText(const AffineProgram &Program) {
+  std::string Out = "program " + Program.name() + "\n";
+  for (ArrayId Id = 0; Id < Program.numArrays(); ++Id) {
+    const ArrayDecl &D = Program.array(Id);
+    Out += "array " + D.Name + " dims";
+    for (std::int64_t Dim : D.Dims)
+      Out += formatString(" %lld", static_cast<long long>(Dim));
+    Out += formatString(" elem %u\n", D.ElementBytes);
+  }
+  for (ArrayId Id = 0; Id < Program.numArrays(); ++Id) {
+    const std::vector<std::int64_t> *Values = Program.indexArrayValues(Id);
+    if (!Values)
+      continue;
+    if (Values->size() <= 64) {
+      Out += "index " + Program.array(Id).Name + " values";
+      for (std::int64_t V : *Values)
+        Out += formatString(" %lld", static_cast<long long>(V));
+      Out += "\n";
+    } else {
+      Out += "# index " + Program.array(Id).Name +
+             formatString(" contents omitted (%zu values)\n", Values->size());
+    }
+  }
+  for (const LoopNest &Nest : Program.nests()) {
+    const IterationSpace &S = Nest.space();
+    Out += "nest " + Nest.name() + " bounds";
+    for (unsigned D = 0; D < S.depth(); ++D)
+      Out += formatString(" %lld:%lld", static_cast<long long>(S.lower(D)),
+                          static_cast<long long>(S.upper(D)));
+    Out += formatString(" parallel %u", Nest.partitionDim());
+    if (Nest.repeatCount() > 1)
+      Out += formatString(" repeat %u", Nest.repeatCount());
+    Out += "\n";
+    auto Subscripts = [&](const AffineRef &Ref) {
+      std::string T = " [ ";
+      for (unsigned D = 0; D < Ref.dataRank(); ++D) {
+        if (D)
+          T += ", ";
+        T += affineToText(Ref.accessMatrix().row(D), Ref.offset()[D]);
+      }
+      return T + " ]";
+    };
+    for (const AffineRef &Ref : Nest.refs())
+      Out += std::string("  ") + (Ref.isWrite() ? "write " : "read  ") +
+             Program.array(Ref.arrayId()).Name + Subscripts(Ref) + "\n";
+    for (const IndexedRef &IRef : Nest.indexedRefs())
+      Out += std::string("  ") +
+             (IRef.IsWrite ? "gather-write " : "gather-read  ") +
+             Program.array(IRef.DataArray).Name + " via " +
+             Program.array(IRef.IndexArray).Name + Subscripts(IRef.IndexAccess) +
+             "\n";
+    Out += "end\n";
+  }
+  return Out;
+}

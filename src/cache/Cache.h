@@ -1,0 +1,92 @@
+//===- cache/Cache.h - Set-associative cache model --------------*- C++ -*-===//
+///
+/// \file
+/// A set-associative, LRU, write-back cache keyed by line address. Used for
+/// the per-node L1s, the per-node private L2s, and the banks of the shared
+/// SNUCA L2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_CACHE_CACHE_H
+#define OFFCHIP_CACHE_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace offchip {
+
+/// One cache instance.
+class Cache {
+public:
+  /// \param SizeBytes total capacity; must be divisible by LineBytes * Ways.
+  Cache(std::uint64_t SizeBytes, unsigned LineBytes, unsigned Ways);
+
+  unsigned lineBytes() const { return LineBytes; }
+
+  /// Line address (address / line size) of \p Addr.
+  std::uint64_t lineOf(std::uint64_t Addr) const { return Addr / LineBytes; }
+
+  /// Looks up \p LineAddr; on a hit updates LRU and the dirty bit.
+  /// \returns true on hit.
+  bool access(std::uint64_t LineAddr, bool IsWrite);
+
+  /// True if the line is resident (no LRU update).
+  bool contains(std::uint64_t LineAddr) const;
+
+  /// Result of inserting a line: the victim, if a valid line was evicted.
+  struct Eviction {
+    bool Valid = false;
+    std::uint64_t LineAddr = 0;
+    bool Dirty = false;
+  };
+
+  /// Inserts \p LineAddr (marking it dirty for writes), evicting LRU if the
+  /// set is full.
+  Eviction insert(std::uint64_t LineAddr, bool IsWrite);
+
+  /// Drops the line if resident. \returns true if it was present.
+  bool invalidate(std::uint64_t LineAddr);
+
+  /// Sets the dirty bit without touching LRU or hit/miss statistics; used
+  /// when an upper-level writeback lands in this cache. \returns true if
+  /// the line was resident.
+  bool markDirty(std::uint64_t LineAddr);
+
+  std::uint64_t hits() const { return Hits; }
+  std::uint64_t misses() const { return Misses; }
+
+  void reset();
+
+private:
+  struct Way {
+    std::uint64_t Tag = 0;
+    std::uint64_t LastUse = 0;
+    bool Valid = false;
+    bool Dirty = false;
+  };
+
+  /// XOR-folded set index (index hashing, as in modern LLCs). A plain
+  /// modulo would interact pathologically with MC-interleaved layouts:
+  /// localized data keeps a constant line residue modulo the MC count,
+  /// which lives in exactly the bits a modulo index uses, quartering the
+  /// effective capacity for localized threads.
+  unsigned setOf(std::uint64_t LineAddr) const {
+    std::uint64_t H = LineAddr ^ (LineAddr / NumSets) ^
+                      (LineAddr / NumSets / NumSets);
+    return static_cast<unsigned>(H % NumSets);
+  }
+  /// With a hashed index the stored tag is the full line address.
+  std::uint64_t tagOf(std::uint64_t LineAddr) const { return LineAddr; }
+
+  unsigned LineBytes;
+  unsigned Ways;
+  unsigned NumSets;
+  std::vector<Way> Sets; // NumSets * Ways entries
+  std::uint64_t UseClock = 0;
+  std::uint64_t Hits = 0;
+  std::uint64_t Misses = 0;
+};
+
+} // namespace offchip
+
+#endif // OFFCHIP_CACHE_CACHE_H

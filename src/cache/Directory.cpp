@@ -1,0 +1,32 @@
+//===- cache/Directory.cpp ------------------------------------------------===//
+
+#include "cache/Directory.h"
+
+using namespace offchip;
+
+int Directory::findSharer(std::uint64_t LineAddr) const {
+  auto It = Lines.find(LineAddr);
+  if (It == Lines.end() || It->second == 0)
+    return -1;
+  // Any sharer will do; pick the lowest-numbered one.
+  std::uint64_t Mask = It->second;
+  for (unsigned N = 0; N < NumNodes; ++N)
+    if (Mask & (1ull << N))
+      return static_cast<int>(N);
+  return -1;
+}
+
+void Directory::addSharer(std::uint64_t LineAddr, unsigned Node) {
+  assert(Node < NumNodes && "sharer out of range");
+  Lines[LineAddr] |= 1ull << Node;
+}
+
+void Directory::removeSharer(std::uint64_t LineAddr, unsigned Node) {
+  assert(Node < NumNodes && "sharer out of range");
+  auto It = Lines.find(LineAddr);
+  if (It == Lines.end())
+    return;
+  It->second &= ~(1ull << Node);
+  if (It->second == 0)
+    Lines.erase(It);
+}

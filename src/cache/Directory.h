@@ -1,0 +1,45 @@
+//===- cache/Directory.h - L2 tag directory ---------------------*- C++ -*-===//
+///
+/// \file
+/// The centralized L2 tag directory of the private-L2 flow (Figure 2a): it is
+/// cached at the memory controller owning each line and records which private
+/// L2s hold a copy, so an L2 miss can be satisfied by another on-chip L2
+/// instead of DRAM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_CACHE_DIRECTORY_H
+#define OFFCHIP_CACHE_DIRECTORY_H
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+
+namespace offchip {
+
+/// Sharer tracking for up to 64 nodes per line.
+class Directory {
+public:
+  explicit Directory(unsigned NumNodes) : NumNodes(NumNodes) {
+    assert(NumNodes <= 64 && "directory supports up to 64 nodes");
+  }
+
+  /// \returns a node currently holding \p LineAddr, or -1 if none.
+  int findSharer(std::uint64_t LineAddr) const;
+
+  /// Records that \p Node now holds the line.
+  void addSharer(std::uint64_t LineAddr, unsigned Node);
+
+  /// Records that \p Node dropped the line (e.g. L2 eviction).
+  void removeSharer(std::uint64_t LineAddr, unsigned Node);
+
+  std::uint64_t trackedLines() const { return Lines.size(); }
+
+private:
+  unsigned NumNodes;
+  std::unordered_map<std::uint64_t, std::uint64_t> Lines;
+};
+
+} // namespace offchip
+
+#endif // OFFCHIP_CACHE_DIRECTORY_H

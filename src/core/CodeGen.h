@@ -1,0 +1,56 @@
+//===- core/CodeGen.h - Transformed source emission -------------*- C++ -*-===//
+///
+/// \file
+/// The paper's pass is a source-to-source translator: its output is the
+/// restructured code of Figure 9(c), where every array reference carries the
+/// strip-mined/permuted subscript expression of its customized layout. This
+/// module renders that output: flat C-style index expressions (plus any
+/// lookup tables for cluster sequence ids / bank hosts) and whole
+/// transformed loop nests.
+///
+/// The emitted expressions are semantically exact: evaluating one with the
+/// loop iterators bound yields precisely DataLayout::elementOffset for the
+/// element the reference touches (the codegen tests check this with a small
+/// expression interpreter).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_CORE_CODEGEN_H
+#define OFFCHIP_CORE_CODEGEN_H
+
+#include "affine/AffineProgram.h"
+#include "core/LayoutTransformer.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace offchip {
+
+/// An emitted index expression plus the lookup tables it references.
+struct EmittedExpr {
+  /// C expression over the loop iterators i0, i1, ... evaluating to the
+  /// element offset within the array allocation. Uses only integer
+  /// + - * / % and table indexing.
+  std::string Expr;
+  /// Constant tables used by Expr (e.g. "z_seq" mapping run positions to
+  /// cluster sequence ids). Keyed by table name.
+  std::map<std::string, std::vector<std::int64_t>> Tables;
+};
+
+/// Emits the flat element-offset expression of \p Ref under \p Result's
+/// layout, for a reference inside a nest of \p LoopDepth iterators named
+/// i0..i<LoopDepth-1>. \p ArrayName prefixes any emitted tables.
+EmittedExpr emitReferenceOffset(const AffineRef &Ref,
+                                const ArrayLayoutResult &Result,
+                                const std::string &ArrayName,
+                                unsigned LoopDepth);
+
+/// Renders the whole transformed program as C-like source: table
+/// definitions, then each loop nest with its rewritten references (the
+/// Figure 9(c) view of the plan).
+std::string emitProgram(const AffineProgram &Program, const LayoutPlan &Plan);
+
+} // namespace offchip
+
+#endif // OFFCHIP_CORE_CODEGEN_H

@@ -1,0 +1,183 @@
+//===- core/DataToCore.cpp ------------------------------------------------===//
+
+#include "core/DataToCore.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+
+using namespace offchip;
+
+namespace {
+
+/// True if the hyperplane vector \p G satisfies B^T g^T = 0 for the
+/// reference's submatrix, i.e. the reference's data partitioning follows G.
+bool satisfies(const WeightedAccess &WA, const IntVector &G) {
+  IntMatrix B = WA.Access.withColumnRemoved(WA.PartitionDim);
+  // B^T g^T = 0 <=> g . column_j(B) == 0 for every column j.
+  for (unsigned Col = 0; Col < B.numCols(); ++Col)
+    if (dot(G, B.column(Col)) != 0)
+      return false;
+  return true;
+}
+
+/// Weighted |g . (A e_u)| over all accesses: how strongly the transformed
+/// partition coordinate tracks the partitioned iterator. Used as a
+/// tie-breaker so the chosen g keeps per-thread data contiguous.
+double partitionCorrelation(const std::vector<WeightedAccess> &Accesses,
+                            const IntVector &G) {
+  double Sum = 0.0;
+  for (const WeightedAccess &WA : Accesses) {
+    IntVector Col = WA.Access.column(WA.PartitionDim);
+    Sum += static_cast<double>(WA.Weight) *
+           static_cast<double>(std::llabs(dot(G, Col)));
+  }
+  return Sum;
+}
+
+} // namespace
+
+DataToCoreResult
+offchip::solveDataToCore(unsigned Rank,
+                         const std::vector<WeightedAccess> &Accesses) {
+  DataToCoreResult Result;
+  Result.TotalRefs = static_cast<unsigned>(Accesses.size());
+  for (const WeightedAccess &WA : Accesses)
+    Result.TotalWeight += WA.Weight;
+  if (Accesses.empty() || Rank == 0)
+    return Result;
+
+  // Group identical submatrices and accumulate their weights (Section 5.2,
+  // "Multiple Array References").
+  struct Group {
+    IntMatrix Submatrix;
+    std::uint64_t Weight = 0;
+  };
+  std::vector<Group> Groups;
+  for (const WeightedAccess &WA : Accesses) {
+    assert(WA.Access.numRows() == Rank && "access rank mismatch");
+    IntMatrix B = WA.Access.withColumnRemoved(WA.PartitionDim);
+    bool Merged = false;
+    for (Group &G : Groups) {
+      if (G.Submatrix == B) {
+        G.Weight += WA.Weight;
+        Merged = true;
+        break;
+      }
+    }
+    if (!Merged)
+      Groups.push_back({std::move(B), WA.Weight});
+  }
+  std::stable_sort(Groups.begin(), Groups.end(),
+                   [](const Group &A, const Group &B) {
+                     return A.Weight > B.Weight;
+                   });
+
+  // Solve groups heaviest-first; the first group with a non-trivial kernel
+  // provides the candidate hyperplane vectors, and the candidate satisfying
+  // the most total weight wins.
+  IntVector BestG;
+  std::uint64_t BestWeight = 0;
+  double BestCorr = 0.0;
+  for (const Group &G : Groups) {
+    std::vector<IntVector> Kernel = nullspaceBasis(G.Submatrix.transpose());
+    if (Kernel.empty())
+      continue;
+    for (const IntVector &Candidate : Kernel) {
+      std::uint64_t W = 0;
+      for (const WeightedAccess &WA : Accesses)
+        if (satisfies(WA, Candidate))
+          W += WA.Weight;
+      double Corr = partitionCorrelation(Accesses, Candidate);
+      if (W > BestWeight || (W == BestWeight && Corr > BestCorr)) {
+        BestWeight = W;
+        BestCorr = Corr;
+        BestG = Candidate;
+      }
+    }
+    if (!BestG.empty())
+      break;
+  }
+  if (BestG.empty())
+    return Result;
+
+  // Orient g so the transformed partition coordinate grows with the
+  // partitioned iterator of the heaviest satisfied reference; otherwise
+  // thread i's data would land in thread (N-1-i)'s cluster.
+  const WeightedAccess *Heaviest = nullptr;
+  for (const WeightedAccess &WA : Accesses) {
+    if (!satisfies(WA, BestG))
+      continue;
+    if (!Heaviest || WA.Weight > Heaviest->Weight)
+      Heaviest = &WA;
+  }
+  if (Heaviest) {
+    std::int64_t S = dot(BestG, Heaviest->Access.column(Heaviest->PartitionDim));
+    if (S < 0)
+      for (std::int64_t &X : BestG)
+        X = -X;
+  }
+
+  std::optional<IntMatrix> U = completeToUnimodularRow(BestG, /*V=*/0);
+  if (!U)
+    return Result;
+
+  Result.Found = true;
+  Result.U = correctToUnimodular(*U);
+  // The completion places the oriented primitive g in row 0; record exactly
+  // that row as Gv.
+  Result.Gv = Result.U.row(0);
+  Result.SatisfiedWeight = BestWeight;
+  // Phase: the weighted mode of g_v . o over the orientation-consistent
+  // satisfied references. A mode (not a mean) because offsets are
+  // multimodal — a stencil's center must win outright — and only
+  // forward-oriented references vote: a reversed sweep's offset describes
+  // the opposite end of the array, not a boundary phase.
+  std::map<std::int64_t, std::uint64_t> PhaseVotes;
+  for (const WeightedAccess &WA : Accesses) {
+    if (!satisfies(WA, BestG))
+      continue;
+    ++Result.SatisfiedRefs;
+    if (WA.Offset.empty())
+      continue;
+    if (dot(Result.Gv, WA.Access.column(WA.PartitionDim)) <= 0)
+      continue;
+    PhaseVotes[dot(Result.Gv, WA.Offset)] += WA.Weight;
+  }
+  std::uint64_t BestVote = 0;
+  for (const auto &KV : PhaseVotes) {
+    if (KV.second > BestVote) {
+      BestVote = KV.second;
+      Result.PartitionPhase = KV.first;
+    }
+  }
+  return Result;
+}
+
+IntMatrix offchip::correctToUnimodular(const IntMatrix &U) {
+  if (isUnimodular(U))
+    return U;
+  std::int64_t D = determinant(U);
+  if (D == 0)
+    reportFatalError("cannot correct a singular matrix to unimodular");
+  HermiteResult HR = hermiteNormalForm(U);
+  // H = T * U with T unimodular, so H^{-1} U would require inverting H; the
+  // equivalent unimodular matrix sharing U's row space directions is T^{-1}
+  // ... T U = H means U = T^{-1} H; the unimodular factor is T^{-1}, but the
+  // paper's intent (line 12) is simply to obtain a unimodular matrix whose
+  // partition row is preserved. We realize it as T applied to U scaled by
+  // the HNF pivots; concretely: divide each row of H by its pivot gcd and
+  // complete. Since all call sites construct U via completeToUnimodularRow
+  // this path is defensive.
+  IntMatrix Fixed = HR.H;
+  for (unsigned R = 0; R < Fixed.numRows(); ++R) {
+    IntVector Row = normalizePrimitive(Fixed.row(R));
+    Fixed.setRow(R, Row);
+  }
+  if (!isUnimodular(Fixed))
+    reportFatalError("unimodular correction failed");
+  return Fixed;
+}

@@ -1,0 +1,74 @@
+//===- core/DataToCore.h - Data-to-Core mapping solver ----------*- C++ -*-===//
+///
+/// \file
+/// Section 5.2: determine, per array, a unimodular transformation U whose
+/// first (slowest-varying) row g_v solves B^T g_v^T = 0, where B is an access
+/// matrix with the iteration partition dimension's column removed. With
+/// multiple references the submatrices are weighted by their dynamic
+/// reference counts and the heaviest solvable system wins; among the kernel
+/// basis vectors of that system we pick the one satisfying the most total
+/// weight (a refinement the paper's weighting scheme permits).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_CORE_DATATOCORE_H
+#define OFFCHIP_CORE_DATATOCORE_H
+
+#include "affine/AffineProgram.h"
+#include "linalg/IntLinAlg.h"
+
+#include <vector>
+
+namespace offchip {
+
+/// One reference's contribution to the Data-to-Core analysis of an array.
+struct WeightedAccess {
+  /// Full access matrix A (rank x loop depth).
+  IntMatrix Access;
+  /// The iteration partition dimension u of the enclosing nest.
+  unsigned PartitionDim = 0;
+  /// Dynamic execution count (trip count x repetitions), the weight W of
+  /// Section 5.2.
+  std::uint64_t Weight = 0;
+  /// The reference's constant offset o (empty means zero).
+  IntVector Offset;
+};
+
+/// Outcome of the Data-to-Core analysis for one array.
+struct DataToCoreResult {
+  /// False when every candidate system only has the trivial solution; the
+  /// array keeps its original layout.
+  bool Found = false;
+  /// The solved hyperplane vector g_v (primitive).
+  IntVector Gv;
+  /// The completed unimodular transformation with Gv as row 0.
+  IntMatrix U;
+  /// Dynamic weight of references whose submatrix satisfies B^T Gv = 0.
+  std::uint64_t SatisfiedWeight = 0;
+  /// Total dynamic weight of all analyzed references.
+  std::uint64_t TotalWeight = 0;
+  /// Static reference counts behind the weights above.
+  unsigned SatisfiedRefs = 0;
+  unsigned TotalRefs = 0;
+  /// Weighted mean of g_v . o over the satisfied references: the dominant
+  /// offset along the partition coordinate. The customized layouts
+  /// phase-align their block boundaries with it so stencil center offsets
+  /// do not shift whole regions into neighboring blocks.
+  std::int64_t PartitionPhase = 0;
+};
+
+/// Solves the Data-to-Core mapping for an array of rank \p Rank given all
+/// weighted references to it. \p Accesses may mix plain references and
+/// affine approximations of indexed references (Section 5.4).
+DataToCoreResult solveDataToCore(unsigned Rank,
+                                 const std::vector<WeightedAccess> &Accesses);
+
+/// The unimodularity correction of Algorithm 1 (lines 10-12): if \p U is not
+/// unimodular but has |det| > 0, replace it by H^{-1} U where H is its
+/// Hermite normal form — the result is unimodular and spans the same row
+/// lattice directions. Returns \p U unchanged when already unimodular.
+IntMatrix correctToUnimodular(const IntMatrix &U);
+
+} // namespace offchip
+
+#endif // OFFCHIP_CORE_DATATOCORE_H

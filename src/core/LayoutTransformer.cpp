@@ -1,0 +1,131 @@
+//===- core/LayoutTransformer.cpp -----------------------------------------===//
+
+#include "core/LayoutTransformer.h"
+
+#include "support/Format.h"
+
+using namespace offchip;
+
+double LayoutPlan::arraysOptimizedFraction() const {
+  unsigned Accessed = 0, Optimized = 0;
+  for (const ArrayLayoutResult &R : PerArray) {
+    if (!R.Accessed)
+      continue;
+    ++Accessed;
+    if (R.Optimized)
+      ++Optimized;
+  }
+  return Accessed == 0 ? 0.0
+                       : static_cast<double>(Optimized) /
+                             static_cast<double>(Accessed);
+}
+
+double LayoutPlan::refsSatisfiedFraction() const {
+  std::uint64_t Satisfied = 0, Total = 0;
+  for (const ArrayLayoutResult &R : PerArray) {
+    Total += R.TotalWeight;
+    if (R.Optimized)
+      Satisfied += R.SatisfiedWeight;
+  }
+  return Total == 0 ? 0.0
+                    : static_cast<double>(Satisfied) /
+                          static_cast<double>(Total);
+}
+
+LayoutPlan LayoutTransformer::originalPlan(const AffineProgram &Program) {
+  LayoutPlan Plan;
+  Plan.PerArray.resize(Program.numArrays());
+  for (ArrayId Id = 0; Id < Program.numArrays(); ++Id) {
+    ArrayLayoutResult &R = Plan.PerArray[Id];
+    R.Layout = std::make_unique<RowMajorLayout>(Program.array(Id));
+    R.Accessed =
+        Program.isAffinelyAccessed(Id) || Program.isIndexedlyAccessed(Id);
+    R.U = IntMatrix::identity(Program.array(Id).rank());
+  }
+  return Plan;
+}
+
+LayoutPlan LayoutTransformer::run(const AffineProgram &Program) const {
+  LayoutPlan Plan;
+  Plan.PerArray.resize(Program.numArrays());
+  unsigned ElementsPerUnit = 0; // computed per array (element size varies)
+
+  for (ArrayId Id = 0; Id < Program.numArrays(); ++Id) {
+    const ArrayDecl &Decl = Program.array(Id);
+    ArrayLayoutResult &R = Plan.PerArray[Id];
+    R.U = IntMatrix::identity(Decl.rank());
+    R.Layout = std::make_unique<RowMajorLayout>(Decl);
+
+    // Gather every reference to this array, across all nests (Section 5.5:
+    // references from different nests are treated uniformly through their
+    // weights).
+    std::vector<WeightedAccess> Accesses;
+    bool HasUnapproximated = false;
+    for (const LoopNest &Nest : Program.nests()) {
+      for (const AffineRef &Ref : Nest.refs())
+        if (Ref.arrayId() == Id)
+          Accesses.push_back({Ref.accessMatrix(), Nest.partitionDim(),
+                              Nest.dynamicWeight(), Ref.offset()});
+      for (const IndexedRef &IRef : Nest.indexedRefs()) {
+        if (IRef.IndexArray == Id)
+          // The affine access into the index array itself participates like
+          // any other reference.
+          Accesses.push_back({IRef.IndexAccess.accessMatrix(),
+                              Nest.partitionDim(), Nest.dynamicWeight(),
+                              IRef.IndexAccess.offset()});
+        if (IRef.DataArray != Id)
+          continue;
+        // Section 5.4: profile the indexed reference and keep the affine
+        // approximation only when its error is acceptable.
+        std::optional<IndexApproximation> Approx =
+            approximateIndexedRef(Program, Nest, IRef);
+        if (Approx && Approx->ErrorFraction <= Options.MaxIndexErrorFraction) {
+          Accesses.push_back({Approx->Approx.accessMatrix(),
+                              Nest.partitionDim(), Nest.dynamicWeight(),
+                              Approx->Approx.offset()});
+        } else {
+          HasUnapproximated = true;
+          // Unapproximable references still count toward the total so the
+          // satisfied fraction reflects them as misses.
+          R.TotalWeight += Nest.dynamicWeight();
+        }
+      }
+    }
+    R.Accessed = !Accesses.empty() || HasUnapproximated;
+    for (const WeightedAccess &WA : Accesses)
+      R.TotalWeight += WA.Weight;
+    if (Accesses.empty()) {
+      R.Note = HasUnapproximated
+                   ? "indexed accesses could not be approximated"
+                   : "array is never referenced";
+      continue;
+    }
+    if (Decl.numElements() < Options.MinArrayElements) {
+      R.Note = "array too small to benefit from layout customization";
+      continue;
+    }
+    if (Options.interleaveBytes() % Decl.ElementBytes != 0) {
+      R.Note = "element size does not divide the interleave unit";
+      continue;
+    }
+    ElementsPerUnit = Options.interleaveBytes() / Decl.ElementBytes;
+
+    DataToCoreResult DTC = solveDataToCore(Decl.rank(), Accesses);
+    if (!DTC.Found) {
+      R.Note = "no non-trivial Data-to-Core hyperplane exists";
+      continue;
+    }
+
+    if (Options.SharedL2)
+      R.Layout = std::make_unique<SharedL2Layout>(
+          Decl, DTC.U, Mapping, ElementsPerUnit, Options.EnableDeltaSkip,
+          DTC.PartitionPhase);
+    else
+      R.Layout = std::make_unique<PrivateL2Layout>(
+          Decl, DTC.U, Mapping, ElementsPerUnit, DTC.PartitionPhase);
+    R.Optimized = true;
+    R.U = DTC.U;
+    R.SatisfiedWeight = DTC.SatisfiedWeight;
+  }
+  return Plan;
+}

@@ -1,0 +1,51 @@
+//===- core/MappingSelector.cpp -------------------------------------------===//
+
+#include "core/MappingSelector.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace offchip;
+
+MappingScore offchip::scoreMapping(const ClusterMapping &M,
+                                   double DemandPerCore,
+                                   const MappingCostModel &Model) {
+  MappingScore S;
+  S.AvgDistance = M.averageDistanceToAssignedMCs();
+
+  // One cluster's own demand against the banks its k controllers provide:
+  // the other clusters of the group interleave between its bursts, so the
+  // burst a cluster sees is its own. More MCs per cluster = lower rho.
+  double CoresPerCluster = static_cast<double>(
+      M.coresPerClusterX() * M.coresPerClusterY());
+  double Banks = static_cast<double>(M.mcsPerCluster()) *
+                 static_cast<double>(Model.BanksPerMC);
+  double Outstanding = CoresPerCluster * DemandPerCore;
+  double Rho =
+      std::min(0.95, Outstanding / (Banks * Model.BankOverlapCapacity));
+  // M/D/1 mean wait: service * rho / (2 * (1 - rho)).
+  S.QueueDelay = Model.BankServiceCycles * Rho / (2.0 * (1.0 - Rho));
+
+  // Round-trip network cost plus bank wait approximates the off-chip access
+  // cost a request sees under this mapping.
+  S.Combined = 2.0 * S.AvgDistance * Model.PerHopCycles + S.QueueDelay;
+  return S;
+}
+
+unsigned offchip::selectBestMapping(
+    const std::vector<const ClusterMapping *> &Cands, double DemandPerCore,
+    const MappingCostModel &Model) {
+  if (Cands.empty())
+    reportFatalError("selectBestMapping needs at least one candidate");
+  unsigned Best = 0;
+  double BestCost = scoreMapping(*Cands[0], DemandPerCore, Model).Combined;
+  for (unsigned I = 1; I < Cands.size(); ++I) {
+    double Cost = scoreMapping(*Cands[I], DemandPerCore, Model).Combined;
+    if (Cost < BestCost) {
+      Best = I;
+      BestCost = Cost;
+    }
+  }
+  return Best;
+}

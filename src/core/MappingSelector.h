@@ -1,0 +1,62 @@
+//===- core/MappingSelector.h - Choosing among L2-to-MC mappings *- C++ -*-===//
+///
+/// \file
+/// Section 4's compiler analysis: given a set of candidate L2-to-MC mappings,
+/// pick the most effective one by weighing (1) distance-to-MC and (2)
+/// memory-level parallelism. Determining the ideal mapping from scratch is
+/// impractical; ranking user-provided candidates is what the paper (and this
+/// class) does, and it is what lets fma3d and minighost pick M2 over M1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_CORE_MAPPINGSELECTOR_H
+#define OFFCHIP_CORE_MAPPINGSELECTOR_H
+
+#include "core/ClusterMapping.h"
+
+#include <vector>
+
+namespace offchip {
+
+/// Tunable constants of the analytical cost model.
+struct MappingCostModel {
+  /// Cycles per mesh link for the round trip estimate.
+  double PerHopCycles = 4.0;
+  /// DRAM service cycles per request (row-hit-dominated estimate).
+  double BankServiceCycles = 36.0;
+  /// Independent banks behind one memory controller.
+  unsigned BanksPerMC = 4;
+  /// Requests a bank effectively overlaps (row-hit pipelining plus the
+  /// FR-FCFS window); scales the utilization estimate.
+  double BankOverlapCapacity = 8.0;
+};
+
+/// Scores of one candidate mapping.
+struct MappingScore {
+  /// Mean requester-to-assigned-MC distance in links.
+  double AvgDistance = 0.0;
+  /// Estimated queueing delay per request (cycles) given the demand.
+  double QueueDelay = 0.0;
+  /// AvgDistance and QueueDelay folded into expected off-chip access cost
+  /// (cycles); lower is better.
+  double Combined = 0.0;
+};
+
+/// Scores mapping \p M under \p DemandPerCore, the expected number of
+/// outstanding off-chip requests a core keeps in flight (roughly: references
+/// per iteration x miss rate x threads per core). The queueing term is an
+/// M/D/1 estimate of one cluster's demand against the banks its k MCs
+/// provide: doubling k halves the utilization a cluster's own burst sees,
+/// which is exactly the regime where Figure 8b beats Figure 8a for the
+/// high-demand applications.
+MappingScore scoreMapping(const ClusterMapping &M, double DemandPerCore,
+                          const MappingCostModel &Model = MappingCostModel());
+
+/// \returns the index of the best-scoring candidate (lowest Combined).
+unsigned selectBestMapping(const std::vector<const ClusterMapping *> &Cands,
+                           double DemandPerCore,
+                           const MappingCostModel &Model = MappingCostModel());
+
+} // namespace offchip
+
+#endif // OFFCHIP_CORE_MAPPINGSELECTOR_H

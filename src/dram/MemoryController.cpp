@@ -1,0 +1,109 @@
+//===- dram/MemoryController.cpp ------------------------------------------===//
+
+#include "dram/MemoryController.h"
+
+#include <algorithm>
+
+using namespace offchip;
+
+MemoryController::MemoryController(unsigned Id, DramConfig Config)
+    : Id(Id), Config(Config), Banks(Config.Banks),
+      IdealBanks(Config.Banks) {}
+
+bool MemoryController::isRowHit(Bank &B, std::int64_t Row) const {
+  for (std::size_t I = 0; I < B.RecentRows.size(); ++I) {
+    if (B.RecentRows[I] != Row)
+      continue;
+    // Refresh recency.
+    B.RecentRows.erase(B.RecentRows.begin() + static_cast<std::ptrdiff_t>(I));
+    B.RecentRows.insert(B.RecentRows.begin(), Row);
+    return true;
+  }
+  B.RecentRows.insert(B.RecentRows.begin(), Row);
+  if (B.RecentRows.size() > Config.FrFcfsWindowRows)
+    B.RecentRows.pop_back();
+  return false;
+}
+
+DramAccessResult MemoryController::access(std::uint64_t PhysAddr,
+                                          std::uint64_t Time) {
+  Bank &B = Banks[bankOf(PhysAddr)];
+  std::int64_t Row = rowOf(PhysAddr);
+
+  std::uint64_t Start = std::max(Time, B.BusyUntil);
+  bool Hit = isRowHit(B, Row);
+  std::uint64_t Service =
+      Hit ? Config.Timing.RowHitCycles : Config.Timing.RowMissCycles;
+
+  DramAccessResult R;
+  R.QueueCycles = Start - Time;
+  R.ServiceCycles = Service;
+  R.CompleteTime = Start + Service;
+  R.RowHit = Hit;
+
+  B.BusyUntil = R.CompleteTime;
+  B.BusyCycles += Service;
+
+  ++Accesses;
+  if (Hit)
+    ++RowHits;
+  TotalQueueCycles += R.QueueCycles;
+  TotalServiceCycles += Service;
+  return R;
+}
+
+DramAccessResult MemoryController::accessIdeal(std::uint64_t PhysAddr,
+                                               std::uint64_t Time) {
+  Bank &B = IdealBanks[bankOf(PhysAddr)];
+  bool Hit = isRowHit(B, rowOf(PhysAddr));
+  DramAccessResult R;
+  R.QueueCycles = 0;
+  R.ServiceCycles =
+      Hit ? Config.Timing.RowHitCycles : Config.Timing.RowMissCycles;
+  R.CompleteTime = Time + R.ServiceCycles;
+  R.RowHit = Hit;
+  ++Accesses;
+  if (Hit)
+    ++RowHits;
+  TotalServiceCycles += R.ServiceCycles;
+  return R;
+}
+
+void MemoryController::writeback(std::uint64_t PhysAddr, std::uint64_t Time) {
+  // A writeback occupies the bank like a read but nothing waits for it, so
+  // it contributes to contention without queue-latency accounting.
+  Bank &B = Banks[bankOf(PhysAddr)];
+  std::int64_t Row = rowOf(PhysAddr);
+  std::uint64_t Start = std::max(Time, B.BusyUntil);
+  bool Hit = isRowHit(B, Row);
+  std::uint64_t Service =
+      Hit ? Config.Timing.RowHitCycles : Config.Timing.RowMissCycles;
+  B.BusyUntil = Start + Service;
+  B.BusyCycles += Service;
+}
+
+double MemoryController::averageQueueOccupancy(std::uint64_t Now) const {
+  if (Now == 0)
+    return 0.0;
+  return static_cast<double>(TotalQueueCycles) / static_cast<double>(Now);
+}
+
+double MemoryController::bankUtilization(std::uint64_t Now) const {
+  if (Now == 0 || Banks.empty())
+    return 0.0;
+  std::uint64_t Busy = 0;
+  for (const Bank &B : Banks)
+    Busy = std::max(Busy, B.BusyCycles);
+  return std::min(1.0, static_cast<double>(Busy) / static_cast<double>(Now));
+}
+
+void MemoryController::reset() {
+  for (Bank &B : Banks)
+    B = Bank();
+  for (Bank &B : IdealBanks)
+    B = Bank();
+  Accesses = 0;
+  RowHits = 0;
+  TotalQueueCycles = 0;
+  TotalServiceCycles = 0;
+}

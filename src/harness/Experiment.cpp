@@ -1,0 +1,131 @@
+//===- harness/Experiment.cpp ---------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace offchip;
+
+void offchip::defaultClusterGrid(unsigned MeshX, unsigned MeshY,
+                                 unsigned NumGroups, unsigned &CX,
+                                 unsigned &CY) {
+  double BestSkew = -1.0;
+  CX = 0;
+  CY = 0;
+  for (unsigned X = 1; X <= NumGroups; ++X) {
+    if (NumGroups % X != 0)
+      continue;
+    unsigned Y = NumGroups / X;
+    if (MeshX % X != 0 || MeshY % Y != 0)
+      continue;
+    double W = static_cast<double>(MeshX) / X;
+    double H = static_cast<double>(MeshY) / Y;
+    double Skew = W > H ? W / H : H / W;
+    if (CX == 0 || Skew < BestSkew) {
+      CX = X;
+      CY = Y;
+      BestSkew = Skew;
+    }
+  }
+  if (CX == 0)
+    reportFatalError("no cluster grid divides the mesh for this MC count");
+}
+
+ClusterMapping offchip::makeM1Mapping(const MachineConfig &Config) {
+  Mesh M(Config.MeshX, Config.MeshY);
+  std::vector<unsigned> MCNodes =
+      placeMemoryControllers(M, Config.NumMCs, Config.Placement);
+  unsigned CX, CY;
+  defaultClusterGrid(Config.MeshX, Config.MeshY, Config.NumMCs, CX, CY);
+  return ClusterMapping::makeLocalityMapping(M, std::move(MCNodes), CX, CY,
+                                             /*MCsPerCluster=*/1);
+}
+
+ClusterMapping offchip::makeM2Mapping(const MachineConfig &Config,
+                                      unsigned MCsPerCluster) {
+  Mesh M(Config.MeshX, Config.MeshY);
+  std::vector<unsigned> MCNodes =
+      placeMemoryControllers(M, Config.NumMCs, Config.Placement);
+  // Keep the M1 cluster geometry (Figure 8b keeps four 4x4 clusters) but
+  // assign each cluster a group of MCsPerCluster controllers.
+  unsigned CX, CY;
+  defaultClusterGrid(Config.MeshX, Config.MeshY, Config.NumMCs, CX, CY);
+  return ClusterMapping::makeLocalityMapping(M, std::move(MCNodes), CX, CY,
+                                             MCsPerCluster);
+}
+
+LayoutPlan offchip::planForVariant(const AppModel &App,
+                                   const MachineConfig &Config,
+                                   const ClusterMapping &Mapping,
+                                   RunVariant Variant) {
+  if (Variant == RunVariant::Optimized) {
+    LayoutTransformer Pass(Mapping, Config.layoutOptions());
+    return Pass.run(App.Program);
+  }
+  return LayoutTransformer::originalPlan(App.Program);
+}
+
+SimResult offchip::runVariant(const AppModel &App,
+                              const MachineConfig &Config,
+                              const ClusterMapping &Mapping,
+                              RunVariant Variant) {
+  MachineConfig C = Config;
+  switch (Variant) {
+  case RunVariant::Original:
+    break;
+  case RunVariant::Optimized:
+    if (C.Granularity == InterleaveGranularity::Page)
+      C.PagePolicy = PageAllocPolicy::CompilerGuided;
+    break;
+  case RunVariant::Optimal:
+    C.OptimalScheme = true;
+    break;
+  case RunVariant::FirstTouch:
+    C.PagePolicy = PageAllocPolicy::FirstTouch;
+    break;
+  }
+  LayoutPlan Plan = planForVariant(App, C, Mapping, Variant);
+  return runSingle(App.Program, Plan, C, Mapping, App.ComputeGapCycles);
+}
+
+void offchip::printBenchHeader(const std::string &ExperimentId,
+                               const std::string &Claim,
+                               const MachineConfig &Config) {
+  std::printf("=== %s ===\n", ExperimentId.c_str());
+  std::printf("reproduces: %s\n", Claim.c_str());
+  std::printf("machine:    %s\n\n", Config.summary().c_str());
+}
+
+void offchip::printSavingsRow(const std::string &Name,
+                              const SavingsSummary &S) {
+  std::printf("%-12s %12s %13s %11s %10s\n", Name.c_str(),
+              formatPercent(S.OnChipNetLatency).c_str(),
+              formatPercent(S.OffChipNetLatency).c_str(),
+              formatPercent(S.MemLatency).c_str(),
+              formatPercent(S.ExecutionTime).c_str());
+}
+
+void offchip::printSavingsAverage(const std::vector<SavingsSummary> &All) {
+  if (All.empty())
+    return;
+  SavingsSummary Avg;
+  for (const SavingsSummary &S : All) {
+    Avg.OnChipNetLatency += S.OnChipNetLatency;
+    Avg.OffChipNetLatency += S.OffChipNetLatency;
+    Avg.MemLatency += S.MemLatency;
+    Avg.ExecutionTime += S.ExecutionTime;
+  }
+  double N = static_cast<double>(All.size());
+  Avg.OnChipNetLatency /= N;
+  Avg.OffChipNetLatency /= N;
+  Avg.MemLatency /= N;
+  Avg.ExecutionTime /= N;
+  std::printf("%-12s %12s %13s %11s %10s\n", "AVERAGE",
+              formatPercent(Avg.OnChipNetLatency).c_str(),
+              formatPercent(Avg.OffChipNetLatency).c_str(),
+              formatPercent(Avg.MemLatency).c_str(),
+              formatPercent(Avg.ExecutionTime).c_str());
+}

@@ -1,0 +1,77 @@
+//===- linalg/IntLinAlg.h - Integer linear algebra --------------*- C++ -*-===//
+///
+/// \file
+/// The integer linear algebra Algorithm 1 relies on:
+///   - integer Gaussian elimination (rank, determinant via Bareiss),
+///   - right-nullspace bases, used to solve B^T g_v^T = 0 (Eq. 3),
+///   - row-style Hermite normal form with transformation tracking, used for
+///     the unimodularity correction step (Algorithm 1, lines 10-12) and for
+///     inverting unimodular matrices,
+///   - completion of a primitive row vector to a unimodular matrix, which
+///     turns the solved hyperplane vector g_v into the full layout
+///     transformation U (Section 5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_LINALG_INTLINALG_H
+#define OFFCHIP_LINALG_INTLINALG_H
+
+#include "linalg/IntMatrix.h"
+
+#include <optional>
+
+namespace offchip {
+
+/// Result of the extended Euclidean algorithm: G = gcd(A, B) = X*A + Y*B,
+/// with G >= 0.
+struct ExtGcdResult {
+  std::int64_t G;
+  std::int64_t X;
+  std::int64_t Y;
+};
+
+/// Extended Euclid. gcd(0, 0) is 0 with X = Y = 0.
+ExtGcdResult extendedGcd(std::int64_t A, std::int64_t B);
+
+/// \returns the rank of \p M over the rationals, computed with fraction-free
+/// (Bareiss) elimination so all intermediate values stay integral.
+unsigned rank(IntMatrix M);
+
+/// \returns det(M) for square \p M via the Bareiss algorithm.
+std::int64_t determinant(const IntMatrix &M);
+
+/// \returns true if \p M is square with determinant +1 or -1.
+bool isUnimodular(const IntMatrix &M);
+
+/// \returns an integer basis of { x : M x = 0 }. Each basis vector is
+/// primitive. The basis is empty iff M has full column rank.
+std::vector<IntVector> nullspaceBasis(const IntMatrix &M);
+
+/// Row-style Hermite normal form: H = T * M with T unimodular, H upper
+/// echelon with positive pivots and entries above each pivot reduced into
+/// [0, pivot).
+struct HermiteResult {
+  IntMatrix H;
+  IntMatrix T;
+};
+
+HermiteResult hermiteNormalForm(const IntMatrix &M);
+
+/// \returns U^{-1} for unimodular \p U. Asserts |det(U)| == 1. Since the HNF
+/// of a unimodular matrix is the identity, the HNF transformation matrix is
+/// exactly the inverse.
+IntMatrix inverseUnimodular(const IntMatrix &U);
+
+/// Completes \p G (divided by its gcd internally, sign preserved) into an
+/// N x N unimodular matrix whose row \p V equals the primitive form of \p G.
+/// Returns std::nullopt if \p G is the zero vector.
+///
+/// This realizes "Unimodular_Layout_Transformation" of Algorithm 1: the layout
+/// transformation U is fully determined by its v-th row g_v; the other rows
+/// only need to keep U invertible over the integers.
+std::optional<IntMatrix> completeToUnimodularRow(const IntVector &G,
+                                                 unsigned V);
+
+} // namespace offchip
+
+#endif // OFFCHIP_LINALG_INTLINALG_H

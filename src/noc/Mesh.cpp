@@ -1,0 +1,110 @@
+//===- noc/Mesh.cpp -------------------------------------------------------===//
+
+#include "noc/Mesh.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace offchip;
+
+unsigned Mesh::manhattan(unsigned A, unsigned B) const {
+  Coord CA = coordOf(A), CB = coordOf(B);
+  unsigned DX = CA.X > CB.X ? CA.X - CB.X : CB.X - CA.X;
+  unsigned DY = CA.Y > CB.Y ? CA.Y - CB.Y : CB.Y - CA.Y;
+  return DX + DY;
+}
+
+std::vector<unsigned> Mesh::xyRoute(unsigned Src, unsigned Dst) const {
+  Coord C = coordOf(Src);
+  Coord D = coordOf(Dst);
+  std::vector<unsigned> Route;
+  Route.reserve(manhattan(Src, Dst) + 1);
+  Route.push_back(Src);
+  while (C.X != D.X) {
+    C.X += C.X < D.X ? 1 : -1;
+    Route.push_back(nodeId(C));
+  }
+  while (C.Y != D.Y) {
+    C.Y += C.Y < D.Y ? 1 : -1;
+    Route.push_back(nodeId(C));
+  }
+  return Route;
+}
+
+namespace {
+
+/// Evenly spreads \p Count positions over [0, Extent), biased to cover the
+/// whole range (e.g. Count=2 over 8 gives columns 2 and 6... we use the
+/// midpoint-of-slice rule: slot i sits at the center of its 1/Count slice).
+unsigned sliceCenter(unsigned I, unsigned Count, unsigned Extent) {
+  return (2 * I + 1) * Extent / (2 * Count);
+}
+
+} // namespace
+
+std::vector<unsigned>
+offchip::placeMemoryControllers(const Mesh &M, unsigned NumMCs,
+                                MCPlacementKind Kind) {
+  unsigned X = M.sizeX(), Y = M.sizeY();
+  std::vector<unsigned> Nodes;
+  switch (Kind) {
+  case MCPlacementKind::Corners: {
+    if (NumMCs == 4) {
+      // Order matters: MC0 top-left, MC1 top-right, MC2 bottom-left, MC3
+      // bottom-right, so that the contiguous interleave groups {0,1} and
+      // {2,3} are the top and bottom MC pairs (used by mapping M2).
+      Nodes = {M.nodeId({0, 0}), M.nodeId({X - 1, 0}), M.nodeId({0, Y - 1}),
+               M.nodeId({X - 1, Y - 1})};
+      return Nodes;
+    }
+    // Larger counts (Figure 27): NumMCs/2 spread along the top edge and
+    // NumMCs/2 along the bottom edge, corners included.
+    if (NumMCs % 2 != 0 || NumMCs / 2 > X)
+      reportFatalError("unsupported MC count for Corners placement");
+    unsigned Half = NumMCs / 2;
+    for (unsigned I = 0; I < Half; ++I)
+      Nodes.push_back(M.nodeId({I * (X - 1) / (Half - 1), 0}));
+    for (unsigned I = 0; I < Half; ++I)
+      Nodes.push_back(M.nodeId({I * (X - 1) / (Half - 1), Y - 1}));
+    return Nodes;
+  }
+  case MCPlacementKind::EdgeMidpoints: {
+    if (NumMCs != 4)
+      reportFatalError("EdgeMidpoints placement requires 4 MCs");
+    // Same top/bottom group structure as Corners: MC0/MC1 on the top half
+    // (top edge middle, left edge middle), MC2/MC3 on the bottom half.
+    Nodes = {M.nodeId({X / 2 - 1, 0}), M.nodeId({X - 1, Y / 2 - 1}),
+             M.nodeId({0, Y / 2}), M.nodeId({X / 2, Y - 1})};
+    return Nodes;
+  }
+  case MCPlacementKind::TopBottomSpread: {
+    if (NumMCs % 2 != 0 || NumMCs / 2 > X)
+      reportFatalError("TopBottomSpread needs an even MC count");
+    unsigned Half = NumMCs / 2;
+    for (unsigned I = 0; I < Half; ++I)
+      Nodes.push_back(M.nodeId({sliceCenter(I, Half, X), 0}));
+    for (unsigned I = 0; I < Half; ++I)
+      Nodes.push_back(M.nodeId({sliceCenter(I, Half, X), Y - 1}));
+    return Nodes;
+  }
+  }
+  OFFCHIP_UNREACHABLE("unknown MC placement kind");
+}
+
+unsigned offchip::nearestMC(const Mesh &M,
+                            const std::vector<unsigned> &MCNodes,
+                            unsigned Node) {
+  assert(!MCNodes.empty() && "no memory controllers placed");
+  unsigned Best = 0;
+  unsigned BestDist = M.manhattan(Node, MCNodes[0]);
+  for (unsigned I = 1; I < MCNodes.size(); ++I) {
+    unsigned D = M.manhattan(Node, MCNodes[I]);
+    if (D < BestDist) {
+      Best = I;
+      BestDist = D;
+    }
+  }
+  return Best;
+}

@@ -1,0 +1,107 @@
+//===- noc/Network.cpp ----------------------------------------------------===//
+
+#include "noc/Network.h"
+
+#include <algorithm>
+
+using namespace offchip;
+
+Network::Network(const Mesh &M, NocConfig Config)
+    : Topology(M), Config(Config),
+      Links(static_cast<std::size_t>(M.numNodes()) * 4) {}
+
+unsigned Network::linkIndex(unsigned From, unsigned To) const {
+  Coord A = Topology.coordOf(From);
+  Coord B = Topology.coordOf(To);
+  // Direction encoding: 0 east, 1 west, 2 south, 3 north.
+  unsigned Dir;
+  if (B.X == A.X + 1 && B.Y == A.Y)
+    Dir = 0;
+  else if (A.X == B.X + 1 && B.Y == A.Y)
+    Dir = 1;
+  else if (B.Y == A.Y + 1 && B.X == A.X)
+    Dir = 2;
+  else {
+    assert(A.Y == B.Y + 1 && B.X == A.X && "nodes are not adjacent");
+    Dir = 3;
+  }
+  return From * 4 + Dir;
+}
+
+std::uint64_t Network::LinkState::reserve(std::uint64_t From,
+                                          unsigned Flits,
+                                          std::uint64_t Floor) {
+  // Reclaim reservations that ended before the engine's time floor: no
+  // future injection can land there.
+  while (!Reserved.empty() && Reserved.front().End <= Floor)
+    Reserved.pop_front();
+
+  // FIFO by arrival: the message must queue behind every reservation whose
+  // transmission starts at or before its own arrival (those messages are
+  // already in the router), but may claim idle time ahead of reservations
+  // that only start in the future (e.g. a response still waiting on DRAM) —
+  // that keeps the link work-conserving without clairvoyant reordering.
+  std::uint64_t Start = From;
+  std::size_t Pos = 0;
+  while (Pos < Reserved.size() && Reserved[Pos].Start <= From) {
+    Start = std::max(Start, Reserved[Pos].End);
+    ++Pos;
+  }
+  for (; Pos < Reserved.size(); ++Pos) {
+    const Interval &I = Reserved[Pos];
+    if (Start + Flits <= I.Start)
+      break; // fits in the gap before I
+    Start = std::max(Start, I.End);
+  }
+  Reserved.insert(Reserved.begin() + static_cast<std::ptrdiff_t>(Pos),
+                  {Start, Start + Flits});
+  // Merge with neighbors when exactly adjacent to keep the list short.
+  if (Pos + 1 < Reserved.size() &&
+      Reserved[Pos].End == Reserved[Pos + 1].Start) {
+    Reserved[Pos].End = Reserved[Pos + 1].End;
+    Reserved.erase(Reserved.begin() + static_cast<std::ptrdiff_t>(Pos) + 1);
+  }
+  if (Pos > 0 && Reserved[Pos - 1].End == Reserved[Pos].Start) {
+    Reserved[Pos - 1].End = Reserved[Pos].End;
+    Reserved.erase(Reserved.begin() + static_cast<std::ptrdiff_t>(Pos));
+  }
+  return Start;
+}
+
+MessageResult Network::send(unsigned Src, unsigned Dst, unsigned Bytes,
+                            std::uint64_t Time) {
+  if (Src == Dst)
+    return {Time, 0, 0};
+  std::vector<unsigned> Route = Topology.xyRoute(Src, Dst);
+  unsigned Flits = flitsFor(Bytes);
+  std::uint64_t Cur = Time;
+  for (std::size_t I = 0; I + 1 < Route.size(); ++I) {
+    unsigned Link = linkIndex(Route[I], Route[I + 1]);
+    std::uint64_t Depart = Links[Link].reserve(Cur, Flits, Floor);
+    LinkBusyCycles += Flits;
+    Cur = Depart + Config.PerHopCycles;
+  }
+  // Tail flit trails the head by Flits - 1 cycles once pipelined.
+  std::uint64_t Arrival = Cur + (Flits - 1);
+  ++Messages;
+  return {Arrival, Arrival - Time, static_cast<unsigned>(Route.size() - 1)};
+}
+
+MessageResult Network::sendIdeal(unsigned Src, unsigned Dst, unsigned Bytes,
+                                 std::uint64_t Time) const {
+  if (Src == Dst)
+    return {Time, 0, 0};
+  unsigned Hops = Topology.manhattan(Src, Dst);
+  unsigned Flits = flitsFor(Bytes);
+  std::uint64_t Arrival =
+      Time + static_cast<std::uint64_t>(Hops) * Config.PerHopCycles +
+      (Flits - 1);
+  return {Arrival, Arrival - Time, Hops};
+}
+
+void Network::reset() {
+  for (LinkState &L : Links)
+    L.Reserved.clear();
+  Messages = 0;
+  LinkBusyCycles = 0;
+}

@@ -1,0 +1,128 @@
+//===- noc/Network.h - Contention-aware mesh network model ------*- C++ -*-===//
+///
+/// \file
+/// A link-occupancy network model for the 2D mesh. Messages follow XY routes;
+/// each directed link serializes the flits that cross it, so concurrent
+/// traffic through shared links stretches both on-chip and off-chip access
+/// latencies — the contention effect the paper's optimization reduces.
+///
+/// The model is transaction-granular rather than flit-granular: a message
+/// reserves each link of its route in order, waiting when a link is still
+/// busy with earlier flits. This keeps single-message latency equal to
+/// hops * PerHopCycles + (flits - 1) in an idle network (wormhole pipelining)
+/// while still charging queueing where routes overlap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_NOC_NETWORK_H
+#define OFFCHIP_NOC_NETWORK_H
+
+#include "noc/Mesh.h"
+#include "support/MathUtil.h"
+
+#include <algorithm>
+#include <deque>
+
+#include <cstdint>
+#include <vector>
+
+namespace offchip {
+
+/// NoC timing/width parameters (Table 1 defaults).
+struct NocConfig {
+  /// Cycles for the head flit to traverse one router + link.
+  unsigned PerHopCycles = 4;
+  /// Link width in bytes; one flit per cycle per link.
+  unsigned LinkBytes = 16;
+};
+
+/// Outcome of injecting one message.
+struct MessageResult {
+  /// Cycle at which the message tail reaches the destination.
+  std::uint64_t ArrivalTime = 0;
+  /// ArrivalTime minus injection time.
+  std::uint64_t NetworkCycles = 0;
+  /// Links traversed (the Manhattan distance).
+  unsigned Hops = 0;
+};
+
+/// The mesh interconnect with per-link occupancy tracking. Each link keeps
+/// a short list of reserved transmission intervals and places new messages
+/// into the earliest sufficient gap (virtual cut-through with time-ordered
+/// per-link scheduling). A plain busy-until scalar would let a response
+/// reserving far-future cycles (behind a DRAM access) block idle link time
+/// before it, inflating latencies at low utilization.
+class Network {
+public:
+  Network(const Mesh &M, NocConfig Config);
+
+  const Mesh &mesh() const { return Topology; }
+  const NocConfig &config() const { return Config; }
+
+  /// Sends \p Bytes from \p Src to \p Dst at \p Time, reserving links along
+  /// the XY route. Src == Dst costs zero network cycles.
+  MessageResult send(unsigned Src, unsigned Dst, unsigned Bytes,
+                     std::uint64_t Time);
+
+  /// Tells the network that no future send() can carry a time below \p T
+  /// (the simulation engine processes accesses in ready-time order, so the
+  /// current event time is such a floor). Allows reservations entirely
+  /// before the floor to be reclaimed; pruning by each message's own time
+  /// would be unsound because responses inject at future completion times
+  /// while later-processed requests inject earlier.
+  void advanceFloor(std::uint64_t T) { Floor = std::max(Floor, T); }
+
+  /// Latency of the same message in an idle network; does not reserve links.
+  /// Used by the optimal scheme of Section 2, whose off-chip requests incur
+  /// no contention.
+  MessageResult sendIdeal(unsigned Src, unsigned Dst, unsigned Bytes,
+                          std::uint64_t Time) const;
+
+  /// Total messages injected through send().
+  std::uint64_t messagesSent() const { return Messages; }
+
+  /// Sum over links of cycles each link was reserved; a congestion proxy.
+  std::uint64_t totalLinkBusyCycles() const { return LinkBusyCycles; }
+
+  /// Forgets all link occupancy and counters.
+  void reset();
+
+private:
+  unsigned flitsFor(unsigned Bytes) const {
+    return static_cast<unsigned>(
+        std::max<std::uint64_t>(1, ceilDiv(Bytes, Config.LinkBytes)));
+  }
+
+  /// Directed link leaving \p From toward adjacent node \p To.
+  unsigned linkIndex(unsigned From, unsigned To) const;
+
+  /// Reservation calendar of one directed link.
+  struct LinkState {
+    struct Interval {
+      std::uint64_t Start;
+      std::uint64_t End;
+    };
+    /// Future reservations, sorted by start, non-overlapping. Stays short:
+    /// entries ending before the current injection floor are pruned on
+    /// every reserve() call.
+    std::deque<Interval> Reserved;
+
+    /// Books \p Flits cycles at the earliest time >= \p From and \returns
+    /// the booked start cycle. \p Floor is the engine-guaranteed lower
+    /// bound on all future injection times; earlier reservations are
+    /// reclaimed.
+    std::uint64_t reserve(std::uint64_t From, unsigned Flits,
+                          std::uint64_t Floor);
+  };
+
+  Mesh Topology;
+  NocConfig Config;
+  std::vector<LinkState> Links;
+  std::uint64_t Floor = 0;
+  std::uint64_t Messages = 0;
+  std::uint64_t LinkBusyCycles = 0;
+};
+
+} // namespace offchip
+
+#endif // OFFCHIP_NOC_NETWORK_H

@@ -1,0 +1,157 @@
+//===- sim/Engine.cpp -----------------------------------------------------===//
+
+#include "sim/Engine.h"
+
+#include "support/Error.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+
+using namespace offchip;
+
+std::vector<std::vector<unsigned>>
+offchip::partitionNodesForApps(const ClusterMapping &Mapping,
+                               unsigned NumApps) {
+  unsigned N = Mapping.mesh().numNodes();
+  assert(NumApps > 0 && N % NumApps == 0 &&
+         "apps must divide the machine evenly");
+  std::vector<std::vector<unsigned>> Out(NumApps);
+  unsigned PerApp = N / NumApps;
+  // Walk cores in cluster-consistent thread order so each app occupies
+  // whole (or contiguous fractions of) clusters.
+  for (unsigned T = 0; T < N; ++T)
+    Out[T / PerApp].push_back(Mapping.threadToNode(T));
+  return Out;
+}
+
+SimResult offchip::runSimulation(const std::vector<AppInstance> &Apps,
+                                 const MachineConfig &Config,
+                                 const ClusterMapping &Mapping,
+                                 MultiRunOutputs *Multi) {
+  VmConfig VC;
+  VC.PageBytes = Config.PageBytes;
+  VC.NumMCs = Config.NumMCs;
+  VC.BytesPerMC = Config.BytesPerMC;
+  VirtualMemory VM(VC, Config.PagePolicy);
+
+  Machine M(Config, Mapping, VM);
+
+  SimResult R;
+  R.NodeToMCTraffic.assign(
+      static_cast<std::size_t>(Config.numNodes()) * Config.NumMCs, 0);
+
+  // Build address maps and thread streams.
+  struct Thread {
+    ThreadStream Stream;
+    unsigned Node;
+    unsigned App;
+    unsigned GapCycles;
+    /// Per-thread jitter source: real iterations do variable amounts of
+    /// work. Without it, identical streams phase-lock through the shared
+    /// queues and every iteration emits one synchronized 64-miss burst.
+    SplitMix64 Jitter;
+    std::uint64_t FinishTime = 0;
+    bool Done = false;
+
+    Thread(const AddressMap &Map, unsigned Id, unsigned NumThreads,
+           unsigned Node, unsigned App, unsigned GapCycles)
+        : Stream(Map, Id, NumThreads), Node(Node), App(App),
+          GapCycles(GapCycles),
+          Jitter(0x5eed0000ull + Id * 1000003ull + App) {}
+
+    /// Uniform in [Gap/2, 3*Gap/2]; mean == GapCycles.
+    std::uint64_t nextGap() {
+      if (GapCycles == 0)
+        return 0;
+      return GapCycles / 2 + Jitter.nextBelow(GapCycles + 1);
+    }
+  };
+
+  std::vector<std::unique_ptr<AddressMap>> Maps;
+  std::vector<Thread> Threads;
+  for (unsigned A = 0; A < Apps.size(); ++A) {
+    const AppInstance &App = Apps[A];
+    assert(App.Program && App.Plan && !App.Nodes.empty() &&
+           "incomplete app instance");
+    Maps.push_back(std::make_unique<AddressMap>(*App.Program, *App.Plan, VM,
+                                                Config));
+    unsigned NumThreads =
+        static_cast<unsigned>(App.Nodes.size()) * Config.ThreadsPerCore;
+    unsigned Gap = App.ComputeGapCycles != 0 ? App.ComputeGapCycles
+                                              : Config.ComputeGapCycles;
+    for (unsigned T = 0; T < NumThreads; ++T)
+      Threads.emplace_back(*Maps.back(), T, NumThreads,
+                           App.Nodes[T / Config.ThreadsPerCore], A, Gap);
+  }
+
+  // Event loop: earliest-ready thread issues its next (blocking) access.
+  struct Event {
+    std::uint64_t Time;
+    unsigned Thread;
+    bool operator>(const Event &O) const {
+      if (Time != O.Time)
+        return Time > O.Time;
+      return Thread > O.Thread;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> Queue;
+  for (unsigned T = 0; T < Threads.size(); ++T)
+    // Stagger thread starts (OS scheduling jitter); identical streams
+    // otherwise march in lockstep and issue perfectly aligned miss bursts.
+    Queue.push({(static_cast<std::uint64_t>(T) * 389) % 1024, T});
+
+  std::uint64_t LastTime = 0;
+  AccessRequest Req;
+  while (!Queue.empty()) {
+    Event E = Queue.top();
+    Queue.pop();
+    Thread &T = Threads[E.Thread];
+    if (!T.Stream.next(Req)) {
+      T.Done = true;
+      T.FinishTime = E.Time;
+      LastTime = std::max(LastTime, E.Time);
+      continue;
+    }
+    std::uint64_t Done = M.access(T.Node, Req.VA, Req.IsWrite, E.Time, R);
+    std::uint64_t Next = Done + T.nextGap();
+    if (Req.Transformed)
+      Next += Config.TransformOverheadCycles;
+    Queue.push({Next, E.Thread});
+  }
+
+  R.ExecutionCycles = LastTime;
+  R.ThreadFinishCycles.reserve(Threads.size());
+  for (const Thread &T : Threads)
+    R.ThreadFinishCycles.push_back(T.FinishTime);
+
+  if (Multi) {
+    Multi->AppFinishCycles.assign(Apps.size(), 0);
+    Multi->AppAccesses.assign(Apps.size(), 0);
+    for (const Thread &T : Threads) {
+      Multi->AppFinishCycles[T.App] =
+          std::max(Multi->AppFinishCycles[T.App], T.FinishTime);
+      Multi->AppAccesses[T.App] += T.Stream.generated();
+    }
+  }
+
+  M.finalize(R, LastTime == 0 ? 1 : LastTime);
+  return R;
+}
+
+SimResult offchip::runSingle(const AffineProgram &Program,
+                             const LayoutPlan &Plan,
+                             const MachineConfig &Config,
+                             const ClusterMapping &Mapping,
+                             unsigned ComputeGapCycles) {
+  AppInstance App;
+  App.Program = &Program;
+  App.Plan = &Plan;
+  App.ComputeGapCycles = ComputeGapCycles;
+  unsigned N = Config.numNodes();
+  App.Nodes.reserve(N);
+  for (unsigned T = 0; T < N; ++T)
+    App.Nodes.push_back(Mapping.threadToNode(T));
+  return runSimulation({App}, Config, Mapping, nullptr);
+}

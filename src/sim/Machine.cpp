@@ -1,0 +1,261 @@
+//===- sim/Machine.cpp ----------------------------------------------------===//
+
+#include "sim/Machine.h"
+
+using namespace offchip;
+
+Machine::Machine(const MachineConfig &Config, const ClusterMapping &Mapping,
+                 VirtualMemory &VM)
+    : Config(Config), Mapping(&Mapping), VM(&VM),
+      Topology(Config.MeshX, Config.MeshY), Net(Topology, Config.Noc),
+      MCNodes(Mapping.mcNodes()), Dir(Config.numNodes()) {
+  assert(MCNodes.size() == Config.NumMCs &&
+         "mapping MC count must match the machine");
+  MCs.reserve(Config.NumMCs);
+  for (unsigned I = 0; I < Config.NumMCs; ++I)
+    MCs.emplace_back(I, Config.Dram);
+
+  unsigned N = Config.numNodes();
+  L1s.reserve(N);
+  L2s.reserve(N);
+  for (unsigned I = 0; I < N; ++I) {
+    L1s.emplace_back(Config.L1SizeBytes, Config.L1LineBytes, Config.L1Ways);
+    L2s.emplace_back(Config.L2SizeBytes, Config.L2LineBytes, Config.L2Ways);
+  }
+
+  NearestMCOfNode.resize(N);
+  FirstTouchMCOfNode.resize(N);
+  for (unsigned Node = 0; Node < N; ++Node) {
+    NearestMCOfNode[Node] = nearestMC(Topology, MCNodes, Node);
+    // First-touch (Section 6.3) adopts the cluster concept: allocate from
+    // the cluster's MC; with several MCs per cluster pick the nearest.
+    const std::vector<unsigned> &ClusterMCs =
+        Mapping.clusterMCs(Mapping.clusterOfNode(Node));
+    unsigned Best = ClusterMCs.front();
+    for (unsigned MC : ClusterMCs)
+      if (Topology.manhattan(Node, MCNodes[MC]) <
+          Topology.manhattan(Node, MCNodes[Best]))
+        Best = MC;
+    FirstTouchMCOfNode[Node] = Best;
+  }
+}
+
+std::uint64_t Machine::physFor(std::uint64_t VA, unsigned Node) {
+  // Under cache-line interleaving the MC-select bits sit below the page
+  // offset, so translation cannot change them (Section 3); identity mapping
+  // models that without page-table cost.
+  if (Config.Granularity == InterleaveGranularity::CacheLine)
+    return VA;
+  return VM->translate(VA, FirstTouchMCOfNode[Node]);
+}
+
+unsigned Machine::mcForPhys(std::uint64_t PA) const {
+  return static_cast<unsigned>((PA / Config.interleaveBytes()) %
+                               Config.NumMCs);
+}
+
+std::uint64_t Machine::access(unsigned Node, std::uint64_t VA, bool IsWrite,
+                              std::uint64_t Time, SimResult &R) {
+  // The engine hands us accesses in ready-time order; everything this
+  // access sends happens at or after Time.
+  Net.advanceFloor(Time);
+  ++R.TotalAccesses;
+  std::uint64_t T = Time + Config.L1LatencyCycles;
+  std::uint64_t L1Line = VA / Config.L1LineBytes;
+  if (L1s[Node].access(L1Line, IsWrite)) {
+    ++R.L1Hits;
+    R.AccessLatency.addSample(static_cast<double>(T - Time));
+    return T;
+  }
+
+  std::uint64_t PA = physFor(VA, Node);
+  std::uint64_t Done = Config.SharedL2 ? accessShared(Node, PA, IsWrite, T, R)
+                                       : accessPrivate(Node, PA, IsWrite, T, R);
+
+  // Fill the L1; dirty victims write back into the next level.
+  Cache::Eviction Ev = L1s[Node].insert(L1Line, IsWrite);
+  if (Ev.Valid && Ev.Dirty) {
+    std::uint64_t VictimVA = Ev.LineAddr * Config.L1LineBytes;
+    std::uint64_t VictimPA = physFor(VictimVA, Node);
+    std::uint64_t VictimL2Line = VictimPA / Config.L2LineBytes;
+    if (Config.SharedL2) {
+      unsigned Home =
+          static_cast<unsigned>(VictimL2Line % Config.numNodes());
+      // Fire-and-forget writeback to the home bank: occupies links but no
+      // one waits for it.
+      Net.send(Node, Home, Config.L1LineBytes, Done);
+      L2s[Home].markDirty(VictimL2Line);
+    } else {
+      L2s[Node].markDirty(VictimL2Line);
+    }
+  }
+  R.AccessLatency.addSample(static_cast<double>(Done - Time));
+  return Done;
+}
+
+std::uint64_t Machine::accessPrivate(unsigned Node, std::uint64_t PA,
+                                     bool IsWrite, std::uint64_t Time,
+                                     SimResult &R) {
+  std::uint64_t T = Time + Config.L2LatencyCycles;
+  std::uint64_t Line = PA / Config.L2LineBytes;
+  if (L2s[Node].access(Line, IsWrite)) {
+    ++R.LocalL2Hits;
+    return T;
+  }
+
+  // The optimal scheme of Section 2: every request is served by the
+  // nearest MC over an uncontended route, and the redirection incurs no
+  // additional bank-contention latency — the banks themselves still behave
+  // normally, so the memory-latency improvement comes from the better
+  // locality of the redirected streams, not from waiving queueing.
+  bool Optimal = Config.OptimalScheme;
+  unsigned MC = Optimal ? NearestMCOfNode[Node] : mcForPhys(PA);
+  unsigned DirNode = MCNodes[MC];
+
+  // Path 1: request to the tag directory cached at the owning MC.
+  MessageResult Req = Optimal
+                          ? Net.sendIdeal(Node, DirNode, Config.RequestBytes, T)
+                          : Net.send(Node, DirNode, Config.RequestBytes, T);
+  T = Req.ArrivalTime + Config.DirectoryLatencyCycles;
+
+  int Sharer = Dir.findSharer(Line);
+  if (Sharer >= 0 && static_cast<unsigned>(Sharer) != Node) {
+    // On-chip access: forward to the sharing L2, which responds with data.
+    MessageResult Fwd = Net.send(DirNode, static_cast<unsigned>(Sharer),
+                                 Config.RequestBytes, T);
+    T = Fwd.ArrivalTime + Config.L2LatencyCycles;
+    MessageResult Data = Net.send(static_cast<unsigned>(Sharer), Node,
+                                  Config.L2LineBytes, T);
+    T = Data.ArrivalTime;
+    ++R.RemoteL2Hits;
+    R.OnChipNetLatency.addSample(static_cast<double>(
+        Req.NetworkCycles + Fwd.NetworkCycles + Data.NetworkCycles));
+    R.OnChipMsgHops.addSample(Req.Hops);
+    R.OnChipMsgHops.addSample(Fwd.Hops);
+    R.OnChipMsgHops.addSample(Data.Hops);
+  } else {
+    // Off-chip access: path 2 (DRAM) then path 3 (data back to the L2).
+    DramAccessResult Dram = MCs[MC].access(PA, T);
+    T = Dram.CompleteTime;
+    MessageResult Data =
+        Optimal ? Net.sendIdeal(DirNode, Node, Config.L2LineBytes, T)
+                : Net.send(DirNode, Node, Config.L2LineBytes, T);
+    T = Data.ArrivalTime;
+    ++R.OffChipAccesses;
+    R.OffChipNetLatency.addSample(
+        static_cast<double>(Req.NetworkCycles + Data.NetworkCycles));
+    R.OffNetLatencyHist.addSample(
+        (Req.NetworkCycles + Data.NetworkCycles) / 64);
+    R.MemLatency.addSample(
+        static_cast<double>(Dram.QueueCycles + Dram.ServiceCycles));
+    R.OffChipMsgHops.addSample(Req.Hops);
+    R.OffChipMsgHops.addSample(Data.Hops);
+    R.NodeToMCTraffic[static_cast<std::size_t>(Node) * Config.NumMCs + MC]++;
+  }
+
+  // Fill the private L2 and keep the directory exact.
+  Cache::Eviction Ev = L2s[Node].insert(Line, IsWrite);
+  if (Ev.Valid) {
+    Dir.removeSharer(Ev.LineAddr, Node);
+    if (Ev.Dirty) {
+      std::uint64_t VictimPA = Ev.LineAddr * Config.L2LineBytes;
+      unsigned VictimMC = mcForPhys(VictimPA);
+      MessageResult WB =
+          Net.send(Node, MCNodes[VictimMC], Config.L2LineBytes, T);
+      MCs[VictimMC].writeback(VictimPA, WB.ArrivalTime);
+    }
+  }
+  Dir.addSharer(Line, Node);
+  return T;
+}
+
+std::uint64_t Machine::accessShared(unsigned Node, std::uint64_t PA,
+                                    bool IsWrite, std::uint64_t Time,
+                                    SimResult &R) {
+  std::uint64_t Line = PA / Config.L2LineBytes;
+  unsigned Home = static_cast<unsigned>(Line % Config.numNodes());
+
+  // Path 1: L1 miss request to the home bank.
+  MessageResult Req = Net.send(Node, Home, Config.RequestBytes, Time);
+  std::uint64_t T = Req.ArrivalTime + Config.L2LatencyCycles;
+
+  if (L2s[Home].access(Line, IsWrite)) {
+    // Path 5: data back to the requesting L1.
+    MessageResult Resp = Net.send(Home, Node, Config.L1LineBytes, T);
+    T = Resp.ArrivalTime;
+    ++R.RemoteL2Hits;
+    R.OnChipNetLatency.addSample(
+        static_cast<double>(Req.NetworkCycles + Resp.NetworkCycles));
+    R.OnChipMsgHops.addSample(Req.Hops);
+    R.OnChipMsgHops.addSample(Resp.Hops);
+    return T;
+  }
+
+  bool Optimal = Config.OptimalScheme;
+  unsigned MC = Optimal ? NearestMCOfNode[Home] : mcForPhys(PA);
+  unsigned MCNode = MCNodes[MC];
+
+  // Paths 2-4: home bank fetches the line from memory.
+  MessageResult ToMC = Optimal
+                           ? Net.sendIdeal(Home, MCNode, Config.RequestBytes, T)
+                           : Net.send(Home, MCNode, Config.RequestBytes, T);
+  DramAccessResult Dram = MCs[MC].access(PA, ToMC.ArrivalTime);
+  MessageResult FromMC =
+      Optimal ? Net.sendIdeal(MCNode, Home, Config.L2LineBytes,
+                              Dram.CompleteTime)
+              : Net.send(MCNode, Home, Config.L2LineBytes, Dram.CompleteTime);
+  T = FromMC.ArrivalTime;
+
+  // Fill the home bank.
+  Cache::Eviction Ev = L2s[Home].insert(Line, IsWrite);
+  if (Ev.Valid && Ev.Dirty) {
+    std::uint64_t VictimPA = Ev.LineAddr * Config.L2LineBytes;
+    unsigned VictimMC = mcForPhys(VictimPA);
+    MessageResult WB =
+        Net.send(Home, MCNodes[VictimMC], Config.L2LineBytes, T);
+    MCs[VictimMC].writeback(VictimPA, WB.ArrivalTime);
+  }
+
+  // Path 5: data to the requesting L1.
+  MessageResult Resp = Net.send(Home, Node, Config.L1LineBytes, T);
+  T = Resp.ArrivalTime;
+
+  ++R.OffChipAccesses;
+  // Network latency of an off-chip access: all four legs (paths 1, 2, 4
+  // and 5) — consistent with the private-L2 flow, which also charges its
+  // full request/response network time.
+  R.OffChipNetLatency.addSample(
+      static_cast<double>(Req.NetworkCycles + ToMC.NetworkCycles +
+                          FromMC.NetworkCycles + Resp.NetworkCycles));
+  R.MemLatency.addSample(
+      static_cast<double>(Dram.QueueCycles + Dram.ServiceCycles));
+  R.OffChipMsgHops.addSample(ToMC.Hops);
+  R.OffChipMsgHops.addSample(FromMC.Hops);
+  R.OnChipMsgHops.addSample(Req.Hops);
+  R.OnChipMsgHops.addSample(Resp.Hops);
+  R.NodeToMCTraffic[static_cast<std::size_t>(Node) * Config.NumMCs + MC]++;
+  return T;
+}
+
+void Machine::finalize(SimResult &R, std::uint64_t Now) const {
+  R.NumNodes = Config.numNodes();
+  R.NumMCs = Config.NumMCs;
+  R.PerMCQueueOccupancy.clear();
+  R.PerMCAccesses.clear();
+  double OccSum = 0.0;
+  std::uint64_t Hits = 0, Total = 0;
+  for (const MemoryController &MC : MCs) {
+    double Occ = MC.averageQueueOccupancy(Now);
+    R.PerMCQueueOccupancy.push_back(Occ);
+    R.PerMCAccesses.push_back(MC.accesses());
+    OccSum += Occ;
+    Hits += MC.rowHits();
+    Total += MC.accesses();
+  }
+  R.AvgBankQueueOccupancy = OccSum / static_cast<double>(MCs.size());
+  R.RowHitRate =
+      Total == 0 ? 0.0
+                 : static_cast<double>(Hits) / static_cast<double>(Total);
+  R.RedirectedPages = VM->redirectedPages();
+  R.AllocatedPages = VM->allocatedPages();
+}

@@ -1,0 +1,99 @@
+//===- sim/MachineConfig.h - Simulated machine configuration ----*- C++ -*-===//
+///
+/// \file
+/// All parameters of the simulated manycore (Table 1), plus the scaled
+/// preset the benches use: the scaled machine keeps every ratio of Table 1
+/// (cache geometry, latencies, interleave units) but shrinks capacities ~16x
+/// so that the workloads' scaled data sets exercise the same off-chip
+/// behaviour at simulation-friendly sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_SIM_MACHINECONFIG_H
+#define OFFCHIP_SIM_MACHINECONFIG_H
+
+#include "core/LayoutTransformer.h"
+#include "dram/MemoryController.h"
+#include "noc/Mesh.h"
+#include "noc/Network.h"
+#include "vm/VirtualMemory.h"
+
+#include <string>
+
+namespace offchip {
+
+/// Full machine + run configuration.
+struct MachineConfig {
+  // Mesh.
+  unsigned MeshX = 8;
+  unsigned MeshY = 8;
+
+  // Caches (Table 1).
+  std::uint64_t L1SizeBytes = 16 * 1024;
+  unsigned L1LineBytes = 64;
+  unsigned L1Ways = 2;
+  unsigned L1LatencyCycles = 2;
+  std::uint64_t L2SizeBytes = 256 * 1024;
+  unsigned L2LineBytes = 256;
+  unsigned L2Ways = 16;
+  unsigned L2LatencyCycles = 10;
+  bool SharedL2 = false;
+
+  // Interconnect.
+  NocConfig Noc;
+
+  // Memory system.
+  unsigned NumMCs = 4;
+  MCPlacementKind Placement = MCPlacementKind::Corners;
+  DramConfig Dram;
+  std::uint64_t BytesPerMC = 1ull << 30;
+
+  // Address interleaving & OS policy.
+  InterleaveGranularity Granularity = InterleaveGranularity::CacheLine;
+  unsigned PageBytes = 4096;
+  PageAllocPolicy PagePolicy = PageAllocPolicy::InterleavedRoundRobin;
+
+  // Execution model.
+  unsigned ThreadsPerCore = 1;
+  /// Cycles of compute between a thread's consecutive accesses (a
+  /// two-issue core does several ALU/FP ops per memory reference).
+  unsigned ComputeGapCycles = 16;
+  /// Extra address-computation cycles charged per access that goes through a
+  /// customized layout (the strip-mine/permute div-mod overhead; the paper
+  /// measured its total at ~4% of execution time).
+  unsigned TransformOverheadCycles = 1;
+  /// Directory / home-bank tag lookup latency.
+  unsigned DirectoryLatencyCycles = 6;
+  /// Request message payload (address + header).
+  unsigned RequestBytes = 16;
+
+  /// The optimal scheme of Section 2: every off-chip request is served by
+  /// the nearest MC with no network contention and no bank queueing.
+  bool OptimalScheme = false;
+
+  unsigned numNodes() const { return MeshX * MeshY; }
+  unsigned numThreads() const { return numNodes() * ThreadsPerCore; }
+
+  /// Interleave unit in bytes under the configured granularity.
+  unsigned interleaveBytes() const {
+    return Granularity == InterleaveGranularity::CacheLine ? L2LineBytes
+                                                           : PageBytes;
+  }
+
+  /// The paper's Table 1 configuration, unmodified.
+  static MachineConfig paperDefault();
+
+  /// Same ratios, ~16x smaller caches/pages; the benches' default so that
+  /// proportionally scaled workloads run in seconds.
+  static MachineConfig scaledDefault();
+
+  /// Layout-pass options consistent with this machine.
+  LayoutOptions layoutOptions() const;
+
+  /// One-line human-readable summary for bench headers.
+  std::string summary() const;
+};
+
+} // namespace offchip
+
+#endif // OFFCHIP_SIM_MACHINECONFIG_H

@@ -1,0 +1,24 @@
+//===- sim/Metrics.cpp ----------------------------------------------------===//
+
+#include "sim/Metrics.h"
+
+using namespace offchip;
+
+double offchip::savings(double Base, double Opt) {
+  if (Base <= 0.0)
+    return 0.0;
+  return (Base - Opt) / Base;
+}
+
+SavingsSummary offchip::summarizeSavings(const SimResult &Base,
+                                         const SimResult &Opt) {
+  SavingsSummary S;
+  S.OnChipNetLatency =
+      savings(Base.OnChipNetLatency.mean(), Opt.OnChipNetLatency.mean());
+  S.OffChipNetLatency =
+      savings(Base.OffChipNetLatency.mean(), Opt.OffChipNetLatency.mean());
+  S.MemLatency = savings(Base.MemLatency.mean(), Opt.MemLatency.mean());
+  S.ExecutionTime = savings(static_cast<double>(Base.ExecutionCycles),
+                            static_cast<double>(Opt.ExecutionCycles));
+  return S;
+}

@@ -1,0 +1,98 @@
+//===- sim/Metrics.h - Simulation result metrics ----------------*- C++ -*-===//
+///
+/// \file
+/// Everything the evaluation section measures, collected per run:
+///   - network latency of on-chip accesses (accesses satisfied by a cache,
+///     sampled over those that actually crossed the network),
+///   - network latency of off-chip accesses (the requester<->MC legs of
+///     DRAM-bound accesses),
+///   - memory latency of off-chip accesses (MC queue wait + bank service),
+///   - execution time (cycle the last thread finishes),
+///   - link-traversal histograms per message class (Figure 15),
+///   - per-(node, MC) off-chip request counts (Figure 13),
+///   - bank queue occupancy (Figure 18), row-hit rates, page statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_SIM_METRICS_H
+#define OFFCHIP_SIM_METRICS_H
+
+#include "support/Stats.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace offchip {
+
+/// Aggregated results of one simulation run.
+struct SimResult {
+  // Execution.
+  std::uint64_t ExecutionCycles = 0;
+  std::vector<std::uint64_t> ThreadFinishCycles;
+
+  // Access class counts.
+  std::uint64_t TotalAccesses = 0;
+  std::uint64_t L1Hits = 0;
+  std::uint64_t LocalL2Hits = 0;   // private L2 local hits
+  std::uint64_t RemoteL2Hits = 0;  // private: other-L2; shared: home bank hit
+  std::uint64_t OffChipAccesses = 0;
+
+  // Latency samples.
+  Accumulator OnChipNetLatency;
+  Accumulator OffChipNetLatency;
+  Accumulator MemLatency;
+  Accumulator AccessLatency; // end-to-end, all accesses
+
+  /// Debug: distribution of off-chip network latencies (bucket = 64 cyc).
+  IntHistogram OffNetLatencyHist{1024};
+
+  // Message hop histograms (Figure 15).
+  IntHistogram OnChipMsgHops;
+  IntHistogram OffChipMsgHops;
+
+  // Traffic map (Figure 13): row-major [node][mc] counts of off-chip
+  // requests issued by each node to each MC.
+  unsigned NumNodes = 0;
+  unsigned NumMCs = 0;
+  std::vector<std::uint64_t> NodeToMCTraffic;
+
+  // Memory system.
+  double AvgBankQueueOccupancy = 0.0; // mean over MCs (Figure 18)
+  double RowHitRate = 0.0;
+  std::vector<double> PerMCQueueOccupancy;
+  std::vector<std::uint64_t> PerMCAccesses;
+
+  // OS statistics.
+  std::uint64_t RedirectedPages = 0;
+  std::uint64_t AllocatedPages = 0;
+
+  /// Fraction of all data accesses that went off-chip (Figure 3).
+  double offChipFraction() const {
+    return TotalAccesses == 0
+               ? 0.0
+               : static_cast<double>(OffChipAccesses) /
+                     static_cast<double>(TotalAccesses);
+  }
+
+  std::uint64_t trafficAt(unsigned Node, unsigned MC) const {
+    return NodeToMCTraffic[static_cast<std::size_t>(Node) * NumMCs + MC];
+  }
+};
+
+/// Relative savings of \p Opt over \p Base: (base - opt) / base, the
+/// normalization every bar chart in the paper uses.
+double savings(double Base, double Opt);
+
+/// The four headline reductions of Figures 14/16/22 computed from two runs.
+struct SavingsSummary {
+  double OnChipNetLatency = 0.0;
+  double OffChipNetLatency = 0.0;
+  double MemLatency = 0.0;
+  double ExecutionTime = 0.0;
+};
+
+SavingsSummary summarizeSavings(const SimResult &Base, const SimResult &Opt);
+
+} // namespace offchip
+
+#endif // OFFCHIP_SIM_METRICS_H

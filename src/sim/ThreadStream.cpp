@@ -1,0 +1,92 @@
+//===- sim/ThreadStream.cpp -----------------------------------------------===//
+
+#include "sim/ThreadStream.h"
+
+using namespace offchip;
+
+ThreadStream::ThreadStream(const AddressMap &Map, unsigned ThreadId,
+                           unsigned NumThreads)
+    : Map(&Map), ThreadId(ThreadId), NumThreads(NumThreads) {
+  seekNest();
+}
+
+bool ThreadStream::seekNest() {
+  const AffineProgram &P = Map->program();
+  while (NestIdx < P.nests().size()) {
+    const LoopNest &Nest = P.nests()[NestIdx];
+    if (Rep >= Nest.repeatCount()) {
+      Rep = 0;
+      ++NestIdx;
+      continue;
+    }
+    IterationChunk Chunk = chunkForThread(Nest.space(), Nest.partitionDim(),
+                                          ThreadId, NumThreads);
+    ChunkSpace =
+        Nest.space().restricted(Nest.partitionDim(), Chunk.Begin, Chunk.End);
+    if (ChunkSpace.isEmpty()) {
+      ++Rep;
+      continue;
+    }
+    Iter = ChunkSpace.firstIteration();
+    InIteration = true;
+    Slot = 0;
+    return true;
+  }
+  InIteration = false;
+  return false;
+}
+
+void ThreadStream::advanceIteration() {
+  Slot = 0;
+  if (ChunkSpace.nextIteration(Iter))
+    return;
+  ++Rep;
+  seekNest();
+}
+
+bool ThreadStream::next(AccessRequest &Out) {
+  if (HasPendingData) {
+    Out = PendingData;
+    HasPendingData = false;
+    ++Generated;
+    return true;
+  }
+  const AffineProgram &P = Map->program();
+  while (InIteration) {
+    const LoopNest &Nest = P.nests()[NestIdx];
+    unsigned NumAffine = static_cast<unsigned>(Nest.refs().size());
+    unsigned NumIndexed = static_cast<unsigned>(Nest.indexedRefs().size());
+    if (Slot >= NumAffine + NumIndexed) {
+      advanceIteration();
+      continue;
+    }
+    if (Slot < NumAffine) {
+      const AffineRef &Ref = Nest.refs()[Slot++];
+      Out.VA = Map->vaOf(Ref.arrayId(), Ref.evaluate(Iter));
+      Out.IsWrite = Ref.isWrite();
+      Out.Transformed = Map->isTransformed(Ref.arrayId());
+      ++Generated;
+      return true;
+    }
+    const IndexedRef &IRef = Nest.indexedRefs()[Slot - NumAffine];
+    ++Slot;
+    // First the read of the index array element...
+    IntVector IndexVec = IRef.IndexAccess.evaluate(Iter);
+    Out.VA = Map->vaOf(IRef.IndexArray, IndexVec);
+    Out.IsWrite = false;
+    Out.Transformed = Map->isTransformed(IRef.IndexArray);
+    // ...then the dependent data access it names.
+    const std::vector<std::int64_t> *Values =
+        P.indexArrayValues(IRef.IndexArray);
+    assert(Values && "indexed reference without index array contents");
+    std::uint64_t SlotIdx = P.array(IRef.IndexArray).linearize(IndexVec);
+    assert(SlotIdx < Values->size() && "index array contents too small");
+    PendingData.VA = Map->vaOfFlat(IRef.DataArray, (*Values)[SlotIdx]);
+    PendingData.IsWrite = IRef.IsWrite;
+    PendingData.Transformed = Map->isTransformed(IRef.DataArray);
+    HasPendingData = true;
+    ++Generated;
+    return true;
+  }
+  return false;
+}

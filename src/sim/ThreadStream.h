@@ -1,0 +1,70 @@
+//===- sim/ThreadStream.h - Per-thread access generation --------*- C++ -*-===//
+///
+/// \file
+/// Lazily generates one thread's memory access stream from an affine
+/// program: the thread executes its block-cyclic chunk of every nest in
+/// program order, issuing each reference per iteration (indexed references
+/// issue the index-array read followed by the dependent data access, as the
+/// hardware would).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_SIM_THREADSTREAM_H
+#define OFFCHIP_SIM_THREADSTREAM_H
+
+#include "sim/AddressMap.h"
+
+namespace offchip {
+
+/// One generated memory access.
+struct AccessRequest {
+  std::uint64_t VA = 0;
+  bool IsWrite = false;
+  /// True when the access went through a customized layout and must pay the
+  /// address-computation overhead.
+  bool Transformed = false;
+};
+
+/// Generator over a thread's access stream.
+class ThreadStream {
+public:
+  /// \param ThreadId   in [0, NumThreads)
+  /// \param NumThreads total threads sharing the program's iteration spaces
+  ThreadStream(const AddressMap &Map, unsigned ThreadId, unsigned NumThreads);
+
+  /// Produces the next access. \returns false when the stream is exhausted.
+  bool next(AccessRequest &Out);
+
+  std::uint64_t generated() const { return Generated; }
+
+private:
+  /// Positions the cursor at the first non-empty (nest, repetition) at or
+  /// after the current one. \returns false when the program is done.
+  bool seekNest();
+
+  /// Advances to the next iteration (and nest/repetition when exhausted).
+  void advanceIteration();
+
+  const AddressMap *Map;
+  unsigned ThreadId;
+  unsigned NumThreads;
+
+  unsigned NestIdx = 0;
+  unsigned Rep = 0;
+  IterationSpace ChunkSpace;
+  IntVector Iter;
+  bool InIteration = false;
+
+  /// Position within the current iteration's access list: affine refs come
+  /// first, then each indexed ref expands to two slots.
+  unsigned Slot = 0;
+  /// Pending second half of an indexed reference.
+  bool HasPendingData = false;
+  AccessRequest PendingData;
+
+  std::uint64_t Generated = 0;
+};
+
+} // namespace offchip
+
+#endif // OFFCHIP_SIM_THREADSTREAM_H

@@ -1,0 +1,11 @@
+//===- support/Error.cpp --------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void offchip::reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "offchip-opt fatal error: %s\n", Msg);
+  std::abort();
+}

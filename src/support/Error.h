@@ -1,0 +1,30 @@
+//===- support/Error.h - Fatal-error and unreachable helpers ---*- C++ -*-===//
+//
+// Part of the offchip-opt project: a reproduction of "Optimizing Off-Chip
+// Accesses in Multicores" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic-error reporting used throughout the project. Library code
+/// never throws; invariant violations abort with a message, and recoverable
+/// conditions are modeled with return values at the API boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_SUPPORT_ERROR_H
+#define OFFCHIP_SUPPORT_ERROR_H
+
+namespace offchip {
+
+/// Prints \p Msg to stderr and aborts. Used for invariant violations that
+/// cannot be expressed as an assert (e.g., in release builds) and for
+/// unrecoverable configuration errors in tools.
+[[noreturn]] void reportFatalError(const char *Msg);
+
+} // namespace offchip
+
+/// Marks a point in code that must never be reached. Aborts with \p Msg.
+#define OFFCHIP_UNREACHABLE(Msg) ::offchip::reportFatalError(Msg)
+
+#endif // OFFCHIP_SUPPORT_ERROR_H

@@ -1,0 +1,41 @@
+//===- support/Format.cpp -------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace offchip;
+
+std::string offchip::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Len < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Out(static_cast<std::size_t>(Len), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Out;
+}
+
+std::string offchip::formatPercent(double Fraction) {
+  return formatString("%.1f%%", Fraction * 100.0);
+}
+
+std::string offchip::padRight(std::string S, unsigned Width) {
+  if (S.size() < Width)
+    S.append(Width - S.size(), ' ');
+  return S;
+}
+
+std::string offchip::padLeft(std::string S, unsigned Width) {
+  if (S.size() < Width)
+    S.insert(0, Width - S.size(), ' ');
+  return S;
+}

@@ -1,0 +1,32 @@
+//===- support/Format.h - Text formatting helpers --------------*- C++ -*-===//
+///
+/// \file
+/// String formatting used by benches, examples and error paths. Library code
+/// returns std::string; only tools print.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_SUPPORT_FORMAT_H
+#define OFFCHIP_SUPPORT_FORMAT_H
+
+#include <string>
+
+namespace offchip {
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// \returns \p Fraction rendered as a percentage with one decimal, e.g.
+/// formatPercent(0.205) == "20.5%".
+std::string formatPercent(double Fraction);
+
+/// Pads \p S on the right with spaces to at least \p Width columns.
+std::string padRight(std::string S, unsigned Width);
+
+/// Pads \p S on the left with spaces to at least \p Width columns.
+std::string padLeft(std::string S, unsigned Width);
+
+} // namespace offchip
+
+#endif // OFFCHIP_SUPPORT_FORMAT_H

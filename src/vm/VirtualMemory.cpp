@@ -1,0 +1,90 @@
+//===- vm/VirtualMemory.cpp -----------------------------------------------===//
+
+#include "vm/VirtualMemory.h"
+
+#include "support/Error.h"
+#include "support/MathUtil.h"
+
+using namespace offchip;
+
+VirtualMemory::VirtualMemory(VmConfig Config, PageAllocPolicy Policy)
+    : Config(Config), Policy(Policy),
+      NextVA(Config.PageBytes), // keep VA 0 unmapped
+      NextLocal(Config.NumMCs, 0),
+      PagesPerMC(Config.BytesPerMC / Config.PageBytes) {
+  if (!isPowerOfTwo(Config.PageBytes))
+    reportFatalError("page size must be a power of two");
+  if (Config.NumMCs == 0)
+    reportFatalError("need at least one memory controller");
+}
+
+void VirtualMemory::growTables(std::uint64_t VPN) {
+  if (VPN >= PageTable.size()) {
+    PageTable.resize(VPN + 1, -1);
+    Hints.resize(VPN + 1, -1);
+  }
+}
+
+std::uint64_t VirtualMemory::reserve(std::uint64_t Bytes,
+                                     std::uint64_t Align) {
+  if (Align == 0 || Align % Config.PageBytes != 0)
+    reportFatalError("reservation alignment must be a page multiple");
+  std::uint64_t Base = alignTo(NextVA, Align);
+  NextVA = Base + alignTo(Bytes == 0 ? 1 : Bytes, Config.PageBytes);
+  growTables(NextVA / Config.PageBytes);
+  return Base;
+}
+
+void VirtualMemory::setPageHint(std::uint64_t VA, unsigned DesiredMC) {
+  assert(DesiredMC < Config.NumMCs && "hint MC out of range");
+  std::uint64_t VPN = VA / Config.PageBytes;
+  growTables(VPN);
+  Hints[VPN] = static_cast<std::int8_t>(DesiredMC);
+}
+
+std::uint64_t VirtualMemory::allocatePhysPage(unsigned PreferredMC) {
+  // Honor the preference if the MC still has room; otherwise fall back to
+  // the least-loaded controller so no allocation ever fails while physical
+  // memory remains (Section 5.3: the page is placed with an alternate MC).
+  unsigned MC = PreferredMC;
+  if (NextLocal[MC] >= PagesPerMC) {
+    ++Redirected;
+    unsigned Best = 0;
+    for (unsigned I = 1; I < Config.NumMCs; ++I)
+      if (NextLocal[I] < NextLocal[Best])
+        Best = I;
+    MC = Best;
+    if (NextLocal[MC] >= PagesPerMC)
+      reportFatalError("physical memory exhausted");
+  }
+  std::uint64_t PPN = MC + Config.NumMCs * NextLocal[MC]++;
+  ++Allocated;
+  return PPN;
+}
+
+std::uint64_t VirtualMemory::translate(std::uint64_t VA,
+                                       unsigned TouchingMC) {
+  std::uint64_t VPN = VA / Config.PageBytes;
+  std::uint64_t Offset = VA % Config.PageBytes;
+  growTables(VPN);
+  std::int64_t PPN = PageTable[VPN];
+  if (PPN < 0) {
+    unsigned Preferred = 0;
+    switch (Policy) {
+    case PageAllocPolicy::InterleavedRoundRobin:
+      Preferred = static_cast<unsigned>(VPN % Config.NumMCs);
+      break;
+    case PageAllocPolicy::FirstTouch:
+      Preferred = TouchingMC % Config.NumMCs;
+      break;
+    case PageAllocPolicy::CompilerGuided:
+      Preferred = Hints[VPN] >= 0
+                      ? static_cast<unsigned>(Hints[VPN])
+                      : static_cast<unsigned>(VPN % Config.NumMCs);
+      break;
+    }
+    PPN = static_cast<std::int64_t>(allocatePhysPage(Preferred));
+    PageTable[VPN] = PPN;
+  }
+  return static_cast<std::uint64_t>(PPN) * Config.PageBytes + Offset;
+}

@@ -1,0 +1,103 @@
+//===- vm/VirtualMemory.h - VA spaces and page allocation -------*- C++ -*-===//
+///
+/// \file
+/// The OS side of the paper: virtual address spaces, page tables, and the
+/// page allocation policies of Sections 5.3 and 6.3. Under page interleaving
+/// the physical page number decides the memory controller (Figure 5), so the
+/// allocator IS the Data-to-MC mechanism:
+///
+///   - InterleavedRoundRobin: pages round-robin across MCs in virtual page
+///     order — the hardware-interleave-like default the paper normalizes to.
+///   - FirstTouch [20]: a page is allocated from the MC of the cluster whose
+///     node touches it first.
+///   - CompilerGuided: the modified allocation policy of Section 5.3
+///     (madvise-style); each virtual page carries a desired MC, honored
+///     unless that MC's memory is full, in which case an alternate MC is
+///     chosen (so the page fault count never grows).
+///
+/// Physical pages of MC m are the PPNs congruent to m modulo the MC count,
+/// mirroring the paper's "first log(N) bits after the page offset" decode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_VM_VIRTUALMEMORY_H
+#define OFFCHIP_VM_VIRTUALMEMORY_H
+
+#include <cstdint>
+#include <vector>
+
+namespace offchip {
+
+/// Page allocation policies (see file comment).
+enum class PageAllocPolicy {
+  InterleavedRoundRobin,
+  FirstTouch,
+  CompilerGuided,
+};
+
+struct VmConfig {
+  unsigned PageBytes = 4096;
+  unsigned NumMCs = 4;
+  /// Physical capacity managed by each MC.
+  std::uint64_t BytesPerMC = 1ull << 30;
+};
+
+/// One application's virtual address space plus the machine's physical page
+/// allocator.
+class VirtualMemory {
+public:
+  VirtualMemory(VmConfig Config, PageAllocPolicy Policy);
+
+  const VmConfig &config() const { return Config; }
+  PageAllocPolicy policy() const { return Policy; }
+
+  /// Reserves a virtual region of \p Bytes aligned to \p Align (which must
+  /// be a multiple of the page size). \returns the base VA.
+  std::uint64_t reserve(std::uint64_t Bytes, std::uint64_t Align);
+
+  /// Registers the compiler's desired MC for the page containing \p VA
+  /// (madvise analogue). Only consulted by the CompilerGuided policy, and
+  /// only before the page is first touched.
+  void setPageHint(std::uint64_t VA, unsigned DesiredMC);
+
+  /// Translates \p VA, allocating the physical page on first touch.
+  /// \p TouchingMC is the MC associated with the first-touching node's
+  /// cluster (used by the FirstTouch policy).
+  std::uint64_t translate(std::uint64_t VA, unsigned TouchingMC);
+
+  /// MC owning physical address \p PA under page interleaving.
+  unsigned mcOfPhysAddr(std::uint64_t PA) const {
+    return static_cast<unsigned>((PA / Config.PageBytes) % Config.NumMCs);
+  }
+
+  /// Number of pages whose desired MC was full and that were redirected to
+  /// an alternate controller.
+  std::uint64_t redirectedPages() const { return Redirected; }
+
+  /// Number of physical pages handed out so far.
+  std::uint64_t allocatedPages() const { return Allocated; }
+
+private:
+  std::uint64_t allocatePhysPage(unsigned PreferredMC);
+
+  void growTables(std::uint64_t VPN);
+
+  VmConfig Config;
+  PageAllocPolicy Policy;
+  std::uint64_t NextVA;
+  /// VPN -> PPN, -1 when unmapped. Flat vectors keep translate() off the
+  /// hash path: it runs once per simulated access.
+  std::vector<std::int64_t> PageTable;
+  /// VPN -> desired MC, -1 when unhinted.
+  std::vector<std::int8_t> Hints;
+  /// Next free local page index per MC.
+  std::vector<std::uint64_t> NextLocal;
+  std::uint64_t PagesPerMC;
+  std::uint64_t RoundRobinNext = 0;
+  std::uint64_t Redirected = 0;
+  std::uint64_t Allocated = 0;
+};
+
+} // namespace offchip
+
+#endif // OFFCHIP_VM_VIRTUALMEMORY_H

@@ -1,0 +1,201 @@
+//===- tests/integration_test.cpp - end-to-end behaviour tests --------------===//
+///
+/// These tests pin the paper's qualitative claims at test scale: the
+/// optimization localizes off-chip traffic, preserves miss-rate parity,
+/// reduces execution time, and behaves correctly under every interleaving
+/// and cache organization.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include <gtest/gtest.h>
+
+using namespace offchip;
+
+namespace {
+
+/// A small but representative app on the full 8x8 machine.
+AppModel smallApp(const char *Name = "wupwise") {
+  // 2D apps keep extent0 >= 64 at this scale, so every thread owns data.
+  AppModel App = buildApp(Name, 0.3);
+  return App;
+}
+
+MachineConfig config() { return MachineConfig::scaledDefault(); }
+
+/// Fraction of off-chip requests that hit the requester cluster's own MC.
+double localizedFraction(const SimResult &R, const ClusterMapping &M) {
+  std::uint64_t Local = 0, Total = 0;
+  for (unsigned Node = 0; Node < R.NumNodes; ++Node) {
+    const std::vector<unsigned> &MCs = M.clusterMCs(M.clusterOfNode(Node));
+    for (unsigned MC = 0; MC < R.NumMCs; ++MC) {
+      std::uint64_t Cnt = R.trafficAt(Node, MC);
+      Total += Cnt;
+      for (unsigned Own : MCs)
+        if (Own == MC)
+          Local += Cnt;
+    }
+  }
+  return Total == 0 ? 0.0
+                    : static_cast<double>(Local) / static_cast<double>(Total);
+}
+
+} // namespace
+
+TEST(Integration, OffChipTrafficBecomesLocalized) {
+  MachineConfig C = config();
+  ClusterMapping M = makeM1Mapping(C);
+  AppModel App = smallApp();
+  SimResult Base = runVariant(App, C, M, RunVariant::Original);
+  SimResult Opt = runVariant(App, C, M, RunVariant::Optimized);
+  double BaseLocal = localizedFraction(Base, M);
+  double OptLocal = localizedFraction(Opt, M);
+  // Hardware interleaving spreads requests ~uniformly (1/4 local); the
+  // customized layout must send the bulk to the cluster's own MC.
+  EXPECT_LT(BaseLocal, 0.40);
+  EXPECT_GT(OptLocal, 0.80);
+}
+
+TEST(Integration, MissRateParityWithinTolerance) {
+  // Section 6.1: the impact on last-level cache misses is ~within 1%; our
+  // models tolerate a slightly wider band for the irregular apps.
+  MachineConfig C = config();
+  ClusterMapping M = makeM1Mapping(C);
+  for (const char *Name : {"wupwise", "galgel", "art"}) {
+    AppModel App = smallApp(Name);
+    SimResult Base = runVariant(App, C, M, RunVariant::Original);
+    SimResult Opt = runVariant(App, C, M, RunVariant::Optimized);
+    double BaseMiss = Base.offChipFraction();
+    double OptMiss = Opt.offChipFraction();
+    EXPECT_NEAR(OptMiss, BaseMiss, 0.02 + 0.05 * BaseMiss) << Name;
+  }
+}
+
+TEST(Integration, OptimizationReducesOffChipDistance) {
+  MachineConfig C = config();
+  ClusterMapping M = makeM1Mapping(C);
+  AppModel App = smallApp();
+  SimResult Base = runVariant(App, C, M, RunVariant::Original);
+  SimResult Opt = runVariant(App, C, M, RunVariant::Optimized);
+  EXPECT_LT(Opt.OffChipMsgHops.mean(), Base.OffChipMsgHops.mean() * 0.7);
+}
+
+TEST(Integration, ExecutionTimeImproves) {
+  MachineConfig C = config();
+  ClusterMapping M = makeM1Mapping(C);
+  for (const char *Name : {"wupwise", "galgel"}) {
+    AppModel App = buildApp(Name, 0.5);
+    SimResult Base = runVariant(App, C, M, RunVariant::Original);
+    SimResult Opt = runVariant(App, C, M, RunVariant::Optimized);
+    EXPECT_LT(Opt.ExecutionCycles, Base.ExecutionCycles) << Name;
+  }
+}
+
+TEST(Integration, PageInterleavingWithOSAssistLocalizes) {
+  MachineConfig C = config();
+  C.Granularity = InterleaveGranularity::Page;
+  ClusterMapping M = makeM1Mapping(C);
+  AppModel App = smallApp();
+  SimResult Opt = runVariant(App, C, M, RunVariant::Optimized);
+  EXPECT_GT(localizedFraction(Opt, M), 0.75);
+  // And the redirected-page fallback never fired at these sizes.
+  EXPECT_EQ(Opt.RedirectedPages, 0u);
+  EXPECT_GT(Opt.AllocatedPages, 0u);
+}
+
+TEST(Integration, FirstTouchLocalizesStablePartitionings) {
+  MachineConfig C = config();
+  C.Granularity = InterleaveGranularity::Page;
+  ClusterMapping M = makeM1Mapping(C);
+  // wupwise has a stable partitioning: first-touch captures the network
+  // localization (most pages land at the owner cluster's controller), even
+  // though it lacks the layout's row-buffer benefits.
+  AppModel App = buildApp("wupwise", 0.3);
+  SimResult Base = runVariant(App, C, M, RunVariant::Original);
+  SimResult FT = runVariant(App, C, M, RunVariant::FirstTouch);
+  EXPECT_GT(localizedFraction(FT, M), 0.7);
+  EXPECT_LT(FT.OffChipMsgHops.mean(), Base.OffChipMsgHops.mean() * 0.8);
+}
+
+TEST(Integration, AlternatingPartitionsDefeatFirstTouch) {
+  MachineConfig C = config();
+  C.Granularity = InterleaveGranularity::Page;
+  ClusterMapping M = makeM1Mapping(C);
+  // applu alternates partition dimensions: first-touch pins each page to
+  // whichever nest touched it first, while the per-array layouts localize
+  // both sweeps — the compiler keeps more traffic at the owning cluster
+  // (the paper's Figure 23 argument).
+  AppModel App = buildApp("applu", 1.0);
+  SimResult FT = runVariant(App, C, M, RunVariant::FirstTouch);
+  SimResult Opt = runVariant(App, C, M, RunVariant::Optimized);
+  EXPECT_GT(localizedFraction(Opt, M), localizedFraction(FT, M));
+  // And never meaningfully slower end to end.
+  EXPECT_LT(static_cast<double>(Opt.ExecutionCycles),
+            static_cast<double>(FT.ExecutionCycles) * 1.05);
+}
+
+TEST(Integration, SharedL2LocalizesHomeBanks) {
+  MachineConfig C = config();
+  C.SharedL2 = true;
+  ClusterMapping M = makeM1Mapping(C);
+  AppModel App = smallApp();
+  SimResult Base = runVariant(App, C, M, RunVariant::Original);
+  SimResult Opt = runVariant(App, C, M, RunVariant::Optimized);
+  // Home banks become the owner (or a neighbor): L1-miss messages shrink.
+  EXPECT_LT(Opt.OnChipMsgHops.mean(), Base.OnChipMsgHops.mean() * 0.6);
+  EXPECT_LT(Opt.ExecutionCycles, Base.ExecutionCycles);
+}
+
+TEST(Integration, M2TradesLocalityForParallelism) {
+  MachineConfig C = config();
+  ClusterMapping M1Map = makeM1Mapping(C);
+  ClusterMapping M2Map = makeM2Mapping(C);
+  AppModel App = smallApp();
+  SimResult OptM1 = runVariant(App, C, M1Map, RunVariant::Optimized);
+  SimResult OptM2 = runVariant(App, C, M2Map, RunVariant::Optimized);
+  // Under M2 requests travel farther on average...
+  EXPECT_GT(OptM2.OffChipMsgHops.mean(), OptM1.OffChipMsgHops.mean());
+  // ...but both stay localized to their assigned groups.
+  EXPECT_GT(localizedFraction(OptM2, M2Map), 0.8);
+}
+
+TEST(Integration, MorePressureWithThreadsPerCore) {
+  MachineConfig C = config();
+  ClusterMapping M = makeM1Mapping(C);
+  AppModel App = smallApp();
+  SimResult One = runVariant(App, C, M, RunVariant::Original);
+  C.ThreadsPerCore = 2;
+  ClusterMapping M2T = makeM1Mapping(C);
+  SimResult Two = runVariant(App, C, M2T, RunVariant::Original);
+  // Same total work, more concurrency: execution does not double, and
+  // contention (per-access latency) rises.
+  EXPECT_EQ(One.TotalAccesses, Two.TotalAccesses);
+  EXPECT_GT(Two.AccessLatency.mean(), One.AccessLatency.mean() * 0.9);
+}
+
+TEST(Integration, TrafficMapSkewMatchesFigure13) {
+  MachineConfig C = config();
+  C.Granularity = InterleaveGranularity::Page;
+  ClusterMapping M = makeM1Mapping(C);
+  AppModel App = buildApp("art", 0.3);
+  SimResult Base = runVariant(App, C, M, RunVariant::Original);
+  SimResult Opt = runVariant(App, C, M, RunVariant::Optimized);
+  // Share of MC0's requests originating in its own cluster.
+  auto Share = [&](const SimResult &R) {
+    std::uint64_t In = 0, Total = 0;
+    for (unsigned Node = 0; Node < C.numNodes(); ++Node) {
+      std::uint64_t Cnt = R.trafficAt(Node, 0);
+      Total += Cnt;
+      if (M.clusterMCs(M.clusterOfNode(Node))[0] == 0)
+        In += Cnt;
+    }
+    return Total == 0 ? 0.0
+                      : static_cast<double>(In) / static_cast<double>(Total);
+  };
+  // The reversed init pass and halo traffic keep a small cross-cluster
+  // residue; the bulk of MC0's requests must still come from its own
+  // cluster (Figure 13b's skew).
+  EXPECT_LT(Share(Base), 0.5);
+  EXPECT_GT(Share(Opt), 0.8);
+}

@@ -1,0 +1,108 @@
+//===- tests/report_test.cpp - result rendering tests ----------------------===//
+
+#include "sim/Report.h"
+
+#include "harness/Experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace offchip;
+
+namespace {
+
+SimResult sample() {
+  SimResult R;
+  R.ExecutionCycles = 1234;
+  R.TotalAccesses = 100;
+  R.L1Hits = 70;
+  R.LocalL2Hits = 15;
+  R.RemoteL2Hits = 5;
+  R.OffChipAccesses = 10;
+  R.OnChipNetLatency.addSample(40);
+  R.OffChipNetLatency.addSample(80);
+  R.MemLatency.addSample(60);
+  R.NumNodes = 4;
+  R.NumMCs = 2;
+  R.NodeToMCTraffic = {1, 2, 3, 4, 5, 6, 7, 8};
+  R.OnChipMsgHops.addSample(1);
+  R.OnChipMsgHops.addSample(3);
+  R.OffChipMsgHops.addSample(5);
+  return R;
+}
+
+unsigned countLines(const std::string &S) {
+  unsigned N = 0;
+  for (char C : S)
+    if (C == '\n')
+      ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(Report, SummaryContainsTheHeadlineNumbers) {
+  std::string S = renderSummary(sample());
+  EXPECT_NE(S.find("1234"), std::string::npos);
+  EXPECT_NE(S.find("70.0%"), std::string::npos);  // L1 hits
+  EXPECT_NE(S.find("10.0%"), std::string::npos);  // off-chip share
+  EXPECT_NE(S.find("80.0"), std::string::npos);   // off-chip latency
+}
+
+TEST(Report, CsvShapeAndValues) {
+  SimResult R = sample();
+  std::string Csv = renderCsv({{"run1", &R}, {"run2", &R}});
+  EXPECT_EQ(countLines(Csv), 3u); // header + 2 rows
+  std::istringstream In(Csv);
+  std::string Header, Row;
+  std::getline(In, Header);
+  EXPECT_EQ(Header.substr(0, 5), "name,");
+  std::getline(In, Row);
+  EXPECT_EQ(Row.substr(0, 10), "run1,1234,");
+  EXPECT_NE(Row.find("0.100000"), std::string::npos); // off-chip fraction
+}
+
+TEST(Report, HopCdfCsvIsMonotone) {
+  SimResult R = sample();
+  std::string Csv = renderHopCdfCsv(R, 6);
+  EXPECT_EQ(countLines(Csv), 8u); // header + 7 rows
+  std::istringstream In(Csv);
+  std::string Line;
+  std::getline(In, Line); // header
+  double PrevOn = -1, PrevOff = -1;
+  while (std::getline(In, Line)) {
+    unsigned Links;
+    double On, Off;
+    ASSERT_EQ(std::sscanf(Line.c_str(), "%u,%lf,%lf", &Links, &On, &Off), 3);
+    EXPECT_GE(On, PrevOn);
+    EXPECT_GE(Off, PrevOff);
+    PrevOn = On;
+    PrevOff = Off;
+  }
+  EXPECT_DOUBLE_EQ(PrevOn, 1.0);
+  EXPECT_DOUBLE_EQ(PrevOff, 1.0);
+}
+
+TEST(Report, TrafficCsvMatchesMap) {
+  SimResult R = sample();
+  std::string Csv = renderTrafficCsv(R, /*MeshX=*/2);
+  EXPECT_EQ(countLines(Csv), 5u); // header + 4 nodes
+  EXPECT_NE(Csv.find("node,x,y,mc1,mc2"), std::string::npos);
+  EXPECT_NE(Csv.find("3,1,1,7,8"), std::string::npos);
+}
+
+TEST(Report, EndToEndWithARealRun) {
+  MachineConfig C = MachineConfig::scaledDefault();
+  C.MeshX = 4;
+  C.MeshY = 4;
+  ClusterMapping M = makeM1Mapping(C);
+  AppModel App = buildApp("wupwise", 0.25);
+  SimResult R = runVariant(App, C, M, RunVariant::Original);
+  std::string Summary = renderSummary(R);
+  EXPECT_NE(Summary.find("execution cycles"), std::string::npos);
+  std::string Csv = renderCsv({{"wupwise", &R}});
+  EXPECT_EQ(countLines(Csv), 2u);
+  std::string Traffic = renderTrafficCsv(R, C.MeshX);
+  EXPECT_EQ(countLines(Traffic), 1u + C.numNodes());
+}

@@ -1,0 +1,95 @@
+//===- tests/vm_test.cpp - virtual memory unit tests ------------------------===//
+
+#include "vm/VirtualMemory.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace offchip;
+
+namespace {
+
+VmConfig smallVm() {
+  VmConfig C;
+  C.PageBytes = 4096;
+  C.NumMCs = 4;
+  C.BytesPerMC = 64 * 4096; // 64 pages per controller
+  return C;
+}
+
+} // namespace
+
+TEST(VirtualMemory, ReserveIsAlignedAndDisjoint) {
+  VirtualMemory VM(smallVm(), PageAllocPolicy::InterleavedRoundRobin);
+  std::uint64_t A = VM.reserve(10000, 4096);
+  std::uint64_t B = VM.reserve(5000, 8192);
+  EXPECT_EQ(A % 4096, 0u);
+  EXPECT_EQ(B % 8192, 0u);
+  EXPECT_GE(B, A + 10000);
+}
+
+TEST(VirtualMemory, TranslationIsStable) {
+  VirtualMemory VM(smallVm(), PageAllocPolicy::InterleavedRoundRobin);
+  std::uint64_t VA = VM.reserve(4096 * 4, 4096);
+  std::uint64_t PA1 = VM.translate(VA + 100, 0);
+  std::uint64_t PA2 = VM.translate(VA + 100, 3);
+  EXPECT_EQ(PA1, PA2); // second touch reuses the mapping
+  EXPECT_EQ(PA1 % 4096, 100u);
+}
+
+TEST(VirtualMemory, RoundRobinPolicyFollowsVPN) {
+  VirtualMemory VM(smallVm(), PageAllocPolicy::InterleavedRoundRobin);
+  std::uint64_t VA = VM.reserve(4096 * 8, 4096);
+  for (unsigned Pg = 0; Pg < 8; ++Pg) {
+    std::uint64_t PA = VM.translate(VA + Pg * 4096ull, 0);
+    EXPECT_EQ(VM.mcOfPhysAddr(PA), ((VA / 4096 + Pg) % 4));
+  }
+}
+
+TEST(VirtualMemory, FirstTouchHonorsTouchingMC) {
+  VirtualMemory VM(smallVm(), PageAllocPolicy::FirstTouch);
+  std::uint64_t VA = VM.reserve(4096 * 4, 4096);
+  EXPECT_EQ(VM.mcOfPhysAddr(VM.translate(VA, 2)), 2u);
+  EXPECT_EQ(VM.mcOfPhysAddr(VM.translate(VA + 4096, 1)), 1u);
+  // Later touches from other nodes don't move the page.
+  EXPECT_EQ(VM.mcOfPhysAddr(VM.translate(VA, 3)), 2u);
+}
+
+TEST(VirtualMemory, CompilerGuidedHonorsHints) {
+  VirtualMemory VM(smallVm(), PageAllocPolicy::CompilerGuided);
+  std::uint64_t VA = VM.reserve(4096 * 4, 4096);
+  VM.setPageHint(VA, 3);
+  VM.setPageHint(VA + 4096, 1);
+  EXPECT_EQ(VM.mcOfPhysAddr(VM.translate(VA, 0)), 3u);
+  EXPECT_EQ(VM.mcOfPhysAddr(VM.translate(VA + 4096, 0)), 1u);
+  // Unhinted pages fall back to round-robin.
+  std::uint64_t PA = VM.translate(VA + 2 * 4096, 0);
+  EXPECT_EQ(VM.mcOfPhysAddr(PA), (VA / 4096 + 2) % 4);
+}
+
+TEST(VirtualMemory, FullControllerFallsBackToAlternate) {
+  VmConfig C = smallVm();
+  C.BytesPerMC = 2 * 4096; // 2 pages per MC
+  VirtualMemory VM(C, PageAllocPolicy::CompilerGuided);
+  std::uint64_t VA = VM.reserve(4096 * 6, 4096);
+  for (unsigned Pg = 0; Pg < 6; ++Pg)
+    VM.setPageHint(VA + Pg * 4096ull, 0); // everyone wants MC0
+  unsigned OnZero = 0;
+  for (unsigned Pg = 0; Pg < 6; ++Pg)
+    if (VM.mcOfPhysAddr(VM.translate(VA + Pg * 4096ull, 0)) == 0)
+      ++OnZero;
+  EXPECT_EQ(OnZero, 2u);           // MC0 capacity
+  EXPECT_EQ(VM.redirectedPages(), 4u); // the rest were redirected
+  EXPECT_EQ(VM.allocatedPages(), 6u);
+}
+
+TEST(VirtualMemory, PhysicalPagesAreUnique) {
+  VirtualMemory VM(smallVm(), PageAllocPolicy::FirstTouch);
+  std::uint64_t VA = VM.reserve(4096 * 32, 4096);
+  std::set<std::uint64_t> PPNs;
+  for (unsigned Pg = 0; Pg < 32; ++Pg) {
+    std::uint64_t PA = VM.translate(VA + Pg * 4096ull, Pg % 4);
+    EXPECT_TRUE(PPNs.insert(PA / 4096).second) << "page " << Pg;
+  }
+}
