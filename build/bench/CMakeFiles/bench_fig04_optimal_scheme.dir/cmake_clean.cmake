@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_optimal_scheme.dir/fig04_optimal_scheme.cpp.o"
+  "CMakeFiles/bench_fig04_optimal_scheme.dir/fig04_optimal_scheme.cpp.o.d"
+  "bench_fig04_optimal_scheme"
+  "bench_fig04_optimal_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_optimal_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

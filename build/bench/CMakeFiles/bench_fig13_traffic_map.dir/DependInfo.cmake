@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_traffic_map.cpp" "bench/CMakeFiles/bench_fig13_traffic_map.dir/fig13_traffic_map.cpp.o" "gcc" "bench/CMakeFiles/bench_fig13_traffic_map.dir/fig13_traffic_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/offchip_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/offchip_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/offchip_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/offchip_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/offchip_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/offchip_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/offchip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/offchip_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/affine/CMakeFiles/offchip_affine.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/offchip_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/offchip_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_traffic_map.dir/fig13_traffic_map.cpp.o"
+  "CMakeFiles/bench_fig13_traffic_map.dir/fig13_traffic_map.cpp.o.d"
+  "bench_fig13_traffic_map"
+  "bench_fig13_traffic_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_traffic_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_page_interleave.dir/fig14_page_interleave.cpp.o"
+  "CMakeFiles/bench_fig14_page_interleave.dir/fig14_page_interleave.cpp.o.d"
+  "bench_fig14_page_interleave"
+  "bench_fig14_page_interleave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_page_interleave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_cacheline.dir/fig16_cacheline.cpp.o"
+  "CMakeFiles/bench_fig16_cacheline.dir/fig16_cacheline.cpp.o.d"
+  "bench_fig16_cacheline"
+  "bench_fig16_cacheline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_cacheline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

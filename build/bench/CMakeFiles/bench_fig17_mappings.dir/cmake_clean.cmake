@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_mappings.dir/fig17_mappings.cpp.o"
+  "CMakeFiles/bench_fig17_mappings.dir/fig17_mappings.cpp.o.d"
+  "bench_fig17_mappings"
+  "bench_fig17_mappings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_mappings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

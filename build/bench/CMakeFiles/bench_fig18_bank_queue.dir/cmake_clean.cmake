@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_bank_queue.dir/fig18_bank_queue.cpp.o"
+  "CMakeFiles/bench_fig18_bank_queue.dir/fig18_bank_queue.cpp.o.d"
+  "bench_fig18_bank_queue"
+  "bench_fig18_bank_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_bank_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

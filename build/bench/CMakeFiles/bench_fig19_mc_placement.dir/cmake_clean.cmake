@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_mc_placement.dir/fig19_mc_placement.cpp.o"
+  "CMakeFiles/bench_fig19_mc_placement.dir/fig19_mc_placement.cpp.o.d"
+  "bench_fig19_mc_placement"
+  "bench_fig19_mc_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_mc_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

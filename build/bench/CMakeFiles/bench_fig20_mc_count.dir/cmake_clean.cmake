@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_mc_count.dir/fig20_mc_count.cpp.o"
+  "CMakeFiles/bench_fig20_mc_count.dir/fig20_mc_count.cpp.o.d"
+  "bench_fig20_mc_count"
+  "bench_fig20_mc_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_mc_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

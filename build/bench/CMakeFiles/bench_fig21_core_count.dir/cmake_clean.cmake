@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_core_count.dir/fig21_core_count.cpp.o"
+  "CMakeFiles/bench_fig21_core_count.dir/fig21_core_count.cpp.o.d"
+  "bench_fig21_core_count"
+  "bench_fig21_core_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_core_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig22_shared_l2.
+# This may be replaced when dependencies are built.

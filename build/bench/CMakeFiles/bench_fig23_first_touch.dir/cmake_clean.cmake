@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_first_touch.dir/fig23_first_touch.cpp.o"
+  "CMakeFiles/bench_fig23_first_touch.dir/fig23_first_touch.cpp.o.d"
+  "bench_fig23_first_touch"
+  "bench_fig23_first_touch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_first_touch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

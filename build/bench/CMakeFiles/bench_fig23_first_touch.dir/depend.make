@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig23_first_touch.
+# This may be replaced when dependencies are built.

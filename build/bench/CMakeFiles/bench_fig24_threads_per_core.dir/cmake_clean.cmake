@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_threads_per_core.dir/fig24_threads_per_core.cpp.o"
+  "CMakeFiles/bench_fig24_threads_per_core.dir/fig24_threads_per_core.cpp.o.d"
+  "bench_fig24_threads_per_core"
+  "bench_fig24_threads_per_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_threads_per_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

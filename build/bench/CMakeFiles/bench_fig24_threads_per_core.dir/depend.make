@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig24_threads_per_core.
+# This may be replaced when dependencies are built.

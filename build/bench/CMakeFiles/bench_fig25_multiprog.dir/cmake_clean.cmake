@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25_multiprog.dir/fig25_multiprog.cpp.o"
+  "CMakeFiles/bench_fig25_multiprog.dir/fig25_multiprog.cpp.o.d"
+  "bench_fig25_multiprog"
+  "bench_fig25_multiprog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_multiprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_coverage.dir/table2_coverage.cpp.o"
+  "CMakeFiles/bench_table2_coverage.dir/table2_coverage.cpp.o.d"
+  "bench_table2_coverage"
+  "bench_table2_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

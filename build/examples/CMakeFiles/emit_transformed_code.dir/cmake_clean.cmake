@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emit_transformed_code.dir/emit_transformed_code.cpp.o"
+  "CMakeFiles/emit_transformed_code.dir/emit_transformed_code.cpp.o.d"
+  "emit_transformed_code"
+  "emit_transformed_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emit_transformed_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_explorer.dir/mapping_explorer.cpp.o"
+  "CMakeFiles/mapping_explorer.dir/mapping_explorer.cpp.o.d"
+  "mapping_explorer"
+  "mapping_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

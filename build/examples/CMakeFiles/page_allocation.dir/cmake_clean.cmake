@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_allocation.dir/page_allocation.cpp.o"
+  "CMakeFiles/page_allocation.dir/page_allocation.cpp.o.d"
+  "page_allocation"
+  "page_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_vs_private.dir/shared_vs_private.cpp.o"
+  "CMakeFiles/shared_vs_private.dir/shared_vs_private.cpp.o.d"
+  "shared_vs_private"
+  "shared_vs_private.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_vs_private.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

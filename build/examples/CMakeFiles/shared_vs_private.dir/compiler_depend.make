@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shared_vs_private.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_layout.dir/stencil_layout.cpp.o"
+  "CMakeFiles/stencil_layout.dir/stencil_layout.cpp.o.d"
+  "stencil_layout"
+  "stencil_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

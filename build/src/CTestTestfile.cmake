@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("linalg")
+subdirs("affine")
+subdirs("core")
+subdirs("noc")
+subdirs("dram")
+subdirs("vm")
+subdirs("cache")
+subdirs("sim")
+subdirs("workloads")
+subdirs("harness")

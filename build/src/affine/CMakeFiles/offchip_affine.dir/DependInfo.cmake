@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/affine/AffineProgram.cpp" "src/affine/CMakeFiles/offchip_affine.dir/AffineProgram.cpp.o" "gcc" "src/affine/CMakeFiles/offchip_affine.dir/AffineProgram.cpp.o.d"
+  "/root/repo/src/affine/AffineRef.cpp" "src/affine/CMakeFiles/offchip_affine.dir/AffineRef.cpp.o" "gcc" "src/affine/CMakeFiles/offchip_affine.dir/AffineRef.cpp.o.d"
+  "/root/repo/src/affine/IndexGen.cpp" "src/affine/CMakeFiles/offchip_affine.dir/IndexGen.cpp.o" "gcc" "src/affine/CMakeFiles/offchip_affine.dir/IndexGen.cpp.o.d"
+  "/root/repo/src/affine/IndexProfile.cpp" "src/affine/CMakeFiles/offchip_affine.dir/IndexProfile.cpp.o" "gcc" "src/affine/CMakeFiles/offchip_affine.dir/IndexProfile.cpp.o.d"
+  "/root/repo/src/affine/IterationSpace.cpp" "src/affine/CMakeFiles/offchip_affine.dir/IterationSpace.cpp.o" "gcc" "src/affine/CMakeFiles/offchip_affine.dir/IterationSpace.cpp.o.d"
+  "/root/repo/src/affine/LoopNest.cpp" "src/affine/CMakeFiles/offchip_affine.dir/LoopNest.cpp.o" "gcc" "src/affine/CMakeFiles/offchip_affine.dir/LoopNest.cpp.o.d"
+  "/root/repo/src/affine/ProgramText.cpp" "src/affine/CMakeFiles/offchip_affine.dir/ProgramText.cpp.o" "gcc" "src/affine/CMakeFiles/offchip_affine.dir/ProgramText.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/offchip_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/offchip_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

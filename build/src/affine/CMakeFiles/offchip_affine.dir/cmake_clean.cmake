@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offchip_affine.dir/AffineProgram.cpp.o"
+  "CMakeFiles/offchip_affine.dir/AffineProgram.cpp.o.d"
+  "CMakeFiles/offchip_affine.dir/AffineRef.cpp.o"
+  "CMakeFiles/offchip_affine.dir/AffineRef.cpp.o.d"
+  "CMakeFiles/offchip_affine.dir/IndexGen.cpp.o"
+  "CMakeFiles/offchip_affine.dir/IndexGen.cpp.o.d"
+  "CMakeFiles/offchip_affine.dir/IndexProfile.cpp.o"
+  "CMakeFiles/offchip_affine.dir/IndexProfile.cpp.o.d"
+  "CMakeFiles/offchip_affine.dir/IterationSpace.cpp.o"
+  "CMakeFiles/offchip_affine.dir/IterationSpace.cpp.o.d"
+  "CMakeFiles/offchip_affine.dir/LoopNest.cpp.o"
+  "CMakeFiles/offchip_affine.dir/LoopNest.cpp.o.d"
+  "CMakeFiles/offchip_affine.dir/ProgramText.cpp.o"
+  "CMakeFiles/offchip_affine.dir/ProgramText.cpp.o.d"
+  "liboffchip_affine.a"
+  "liboffchip_affine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offchip_affine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

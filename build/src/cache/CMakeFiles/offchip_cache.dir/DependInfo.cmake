@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/Cache.cpp" "src/cache/CMakeFiles/offchip_cache.dir/Cache.cpp.o" "gcc" "src/cache/CMakeFiles/offchip_cache.dir/Cache.cpp.o.d"
+  "/root/repo/src/cache/Directory.cpp" "src/cache/CMakeFiles/offchip_cache.dir/Directory.cpp.o" "gcc" "src/cache/CMakeFiles/offchip_cache.dir/Directory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/offchip_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

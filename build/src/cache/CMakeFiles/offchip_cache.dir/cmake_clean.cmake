@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offchip_cache.dir/Cache.cpp.o"
+  "CMakeFiles/offchip_cache.dir/Cache.cpp.o.d"
+  "CMakeFiles/offchip_cache.dir/Directory.cpp.o"
+  "CMakeFiles/offchip_cache.dir/Directory.cpp.o.d"
+  "liboffchip_cache.a"
+  "liboffchip_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offchip_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

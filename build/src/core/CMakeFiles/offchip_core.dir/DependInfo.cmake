@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ClusterMapping.cpp" "src/core/CMakeFiles/offchip_core.dir/ClusterMapping.cpp.o" "gcc" "src/core/CMakeFiles/offchip_core.dir/ClusterMapping.cpp.o.d"
+  "/root/repo/src/core/CodeGen.cpp" "src/core/CMakeFiles/offchip_core.dir/CodeGen.cpp.o" "gcc" "src/core/CMakeFiles/offchip_core.dir/CodeGen.cpp.o.d"
+  "/root/repo/src/core/DataLayout.cpp" "src/core/CMakeFiles/offchip_core.dir/DataLayout.cpp.o" "gcc" "src/core/CMakeFiles/offchip_core.dir/DataLayout.cpp.o.d"
+  "/root/repo/src/core/DataToCore.cpp" "src/core/CMakeFiles/offchip_core.dir/DataToCore.cpp.o" "gcc" "src/core/CMakeFiles/offchip_core.dir/DataToCore.cpp.o.d"
+  "/root/repo/src/core/LayoutTransformer.cpp" "src/core/CMakeFiles/offchip_core.dir/LayoutTransformer.cpp.o" "gcc" "src/core/CMakeFiles/offchip_core.dir/LayoutTransformer.cpp.o.d"
+  "/root/repo/src/core/MappingSelector.cpp" "src/core/CMakeFiles/offchip_core.dir/MappingSelector.cpp.o" "gcc" "src/core/CMakeFiles/offchip_core.dir/MappingSelector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/affine/CMakeFiles/offchip_affine.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/offchip_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/offchip_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/offchip_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

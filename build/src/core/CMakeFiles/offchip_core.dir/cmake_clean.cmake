@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offchip_core.dir/ClusterMapping.cpp.o"
+  "CMakeFiles/offchip_core.dir/ClusterMapping.cpp.o.d"
+  "CMakeFiles/offchip_core.dir/CodeGen.cpp.o"
+  "CMakeFiles/offchip_core.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/offchip_core.dir/DataLayout.cpp.o"
+  "CMakeFiles/offchip_core.dir/DataLayout.cpp.o.d"
+  "CMakeFiles/offchip_core.dir/DataToCore.cpp.o"
+  "CMakeFiles/offchip_core.dir/DataToCore.cpp.o.d"
+  "CMakeFiles/offchip_core.dir/LayoutTransformer.cpp.o"
+  "CMakeFiles/offchip_core.dir/LayoutTransformer.cpp.o.d"
+  "CMakeFiles/offchip_core.dir/MappingSelector.cpp.o"
+  "CMakeFiles/offchip_core.dir/MappingSelector.cpp.o.d"
+  "liboffchip_core.a"
+  "liboffchip_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offchip_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

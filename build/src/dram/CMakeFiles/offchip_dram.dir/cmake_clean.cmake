@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offchip_dram.dir/MemoryController.cpp.o"
+  "CMakeFiles/offchip_dram.dir/MemoryController.cpp.o.d"
+  "liboffchip_dram.a"
+  "liboffchip_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offchip_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offchip_harness.dir/Experiment.cpp.o"
+  "CMakeFiles/offchip_harness.dir/Experiment.cpp.o.d"
+  "liboffchip_harness.a"
+  "liboffchip_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offchip_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/IntLinAlg.cpp" "src/linalg/CMakeFiles/offchip_linalg.dir/IntLinAlg.cpp.o" "gcc" "src/linalg/CMakeFiles/offchip_linalg.dir/IntLinAlg.cpp.o.d"
+  "/root/repo/src/linalg/IntMatrix.cpp" "src/linalg/CMakeFiles/offchip_linalg.dir/IntMatrix.cpp.o" "gcc" "src/linalg/CMakeFiles/offchip_linalg.dir/IntMatrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/offchip_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offchip_linalg.dir/IntLinAlg.cpp.o"
+  "CMakeFiles/offchip_linalg.dir/IntLinAlg.cpp.o.d"
+  "CMakeFiles/offchip_linalg.dir/IntMatrix.cpp.o"
+  "CMakeFiles/offchip_linalg.dir/IntMatrix.cpp.o.d"
+  "liboffchip_linalg.a"
+  "liboffchip_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offchip_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offchip_noc.dir/Mesh.cpp.o"
+  "CMakeFiles/offchip_noc.dir/Mesh.cpp.o.d"
+  "CMakeFiles/offchip_noc.dir/Network.cpp.o"
+  "CMakeFiles/offchip_noc.dir/Network.cpp.o.d"
+  "liboffchip_noc.a"
+  "liboffchip_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offchip_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

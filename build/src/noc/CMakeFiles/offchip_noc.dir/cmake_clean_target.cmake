@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboffchip_noc.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/AddressMap.cpp" "src/sim/CMakeFiles/offchip_sim.dir/AddressMap.cpp.o" "gcc" "src/sim/CMakeFiles/offchip_sim.dir/AddressMap.cpp.o.d"
+  "/root/repo/src/sim/Engine.cpp" "src/sim/CMakeFiles/offchip_sim.dir/Engine.cpp.o" "gcc" "src/sim/CMakeFiles/offchip_sim.dir/Engine.cpp.o.d"
+  "/root/repo/src/sim/Machine.cpp" "src/sim/CMakeFiles/offchip_sim.dir/Machine.cpp.o" "gcc" "src/sim/CMakeFiles/offchip_sim.dir/Machine.cpp.o.d"
+  "/root/repo/src/sim/MachineConfig.cpp" "src/sim/CMakeFiles/offchip_sim.dir/MachineConfig.cpp.o" "gcc" "src/sim/CMakeFiles/offchip_sim.dir/MachineConfig.cpp.o.d"
+  "/root/repo/src/sim/Metrics.cpp" "src/sim/CMakeFiles/offchip_sim.dir/Metrics.cpp.o" "gcc" "src/sim/CMakeFiles/offchip_sim.dir/Metrics.cpp.o.d"
+  "/root/repo/src/sim/Report.cpp" "src/sim/CMakeFiles/offchip_sim.dir/Report.cpp.o" "gcc" "src/sim/CMakeFiles/offchip_sim.dir/Report.cpp.o.d"
+  "/root/repo/src/sim/ThreadStream.cpp" "src/sim/CMakeFiles/offchip_sim.dir/ThreadStream.cpp.o" "gcc" "src/sim/CMakeFiles/offchip_sim.dir/ThreadStream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/offchip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/offchip_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/offchip_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/offchip_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/offchip_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/affine/CMakeFiles/offchip_affine.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/offchip_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/offchip_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offchip_sim.dir/AddressMap.cpp.o"
+  "CMakeFiles/offchip_sim.dir/AddressMap.cpp.o.d"
+  "CMakeFiles/offchip_sim.dir/Engine.cpp.o"
+  "CMakeFiles/offchip_sim.dir/Engine.cpp.o.d"
+  "CMakeFiles/offchip_sim.dir/Machine.cpp.o"
+  "CMakeFiles/offchip_sim.dir/Machine.cpp.o.d"
+  "CMakeFiles/offchip_sim.dir/MachineConfig.cpp.o"
+  "CMakeFiles/offchip_sim.dir/MachineConfig.cpp.o.d"
+  "CMakeFiles/offchip_sim.dir/Metrics.cpp.o"
+  "CMakeFiles/offchip_sim.dir/Metrics.cpp.o.d"
+  "CMakeFiles/offchip_sim.dir/Report.cpp.o"
+  "CMakeFiles/offchip_sim.dir/Report.cpp.o.d"
+  "CMakeFiles/offchip_sim.dir/ThreadStream.cpp.o"
+  "CMakeFiles/offchip_sim.dir/ThreadStream.cpp.o.d"
+  "liboffchip_sim.a"
+  "liboffchip_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offchip_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offchip_support.dir/Error.cpp.o"
+  "CMakeFiles/offchip_support.dir/Error.cpp.o.d"
+  "CMakeFiles/offchip_support.dir/Format.cpp.o"
+  "CMakeFiles/offchip_support.dir/Format.cpp.o.d"
+  "CMakeFiles/offchip_support.dir/Stats.cpp.o"
+  "CMakeFiles/offchip_support.dir/Stats.cpp.o.d"
+  "liboffchip_support.a"
+  "liboffchip_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offchip_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

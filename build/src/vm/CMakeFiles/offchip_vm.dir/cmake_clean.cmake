@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offchip_vm.dir/VirtualMemory.cpp.o"
+  "CMakeFiles/offchip_vm.dir/VirtualMemory.cpp.o.d"
+  "liboffchip_vm.a"
+  "liboffchip_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offchip_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for offchip_vm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/AppModel.cpp" "src/workloads/CMakeFiles/offchip_workloads.dir/AppModel.cpp.o" "gcc" "src/workloads/CMakeFiles/offchip_workloads.dir/AppModel.cpp.o.d"
+  "/root/repo/src/workloads/Apps.cpp" "src/workloads/CMakeFiles/offchip_workloads.dir/Apps.cpp.o" "gcc" "src/workloads/CMakeFiles/offchip_workloads.dir/Apps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/affine/CMakeFiles/offchip_affine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/offchip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/offchip_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/offchip_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/offchip_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

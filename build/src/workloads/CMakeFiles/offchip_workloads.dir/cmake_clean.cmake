@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offchip_workloads.dir/AppModel.cpp.o"
+  "CMakeFiles/offchip_workloads.dir/AppModel.cpp.o.d"
+  "CMakeFiles/offchip_workloads.dir/Apps.cpp.o"
+  "CMakeFiles/offchip_workloads.dir/Apps.cpp.o.d"
+  "liboffchip_workloads.a"
+  "liboffchip_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offchip_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

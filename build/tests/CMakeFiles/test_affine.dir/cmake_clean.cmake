@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_affine.dir/affine_test.cpp.o"
+  "CMakeFiles/test_affine.dir/affine_test.cpp.o.d"
+  "test_affine"
+  "test_affine.pdb"
+  "test_affine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_affine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_property.dir/layout_property_test.cpp.o"
+  "CMakeFiles/test_layout_property.dir/layout_property_test.cpp.o.d"
+  "test_layout_property"
+  "test_layout_property.pdb"
+  "test_layout_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_programtext.dir/programtext_test.cpp.o"
+  "CMakeFiles/test_programtext.dir/programtext_test.cpp.o.d"
+  "test_programtext"
+  "test_programtext.pdb"
+  "test_programtext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_programtext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offchip-opt.dir/offchip-opt/main.cpp.o"
+  "CMakeFiles/offchip-opt.dir/offchip-opt/main.cpp.o.d"
+  "offchip-opt"
+  "offchip-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offchip-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_demo_runs "/root/repo/build/tools/offchip-opt" "--demo" "--emit-code")
+set_tests_properties(tool_demo_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_rejects_bad_args "/root/repo/build/tools/offchip-opt" "--no-such-flag")
+set_tests_properties(tool_rejects_bad_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_parses_spmv "/root/repo/build/tools/offchip-opt" "/root/repo/examples/programs/spmv.txt" "--emit-code")
+set_tests_properties(tool_parses_spmv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_parses_stencil "/root/repo/build/tools/offchip-opt" "/root/repo/examples/programs/stencil27.txt")
+set_tests_properties(tool_parses_stencil PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
