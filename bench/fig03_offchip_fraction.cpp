@@ -6,34 +6,47 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
-
-#include <cstdio>
+#include "harness/BenchSuite.h"
+#include "support/Format.h"
 
 using namespace offchip;
 
-int main() {
+int main(int Argc, char **Argv) {
   MachineConfig Config = MachineConfig::scaledDefault();
   Config.Granularity = InterleaveGranularity::Page;
-  ClusterMapping Mapping = makeM1Mapping(Config);
-
-  printBenchHeader("Figure 3: off-chip share of total data accesses",
+  BenchSuite Suite("Figure 3: off-chip share of total data accesses",
                    "off-chip accesses average ~22.4% of all data accesses",
                    Config);
-  std::printf("%-12s %10s %14s %14s\n", "app", "off-chip", "total-accesses",
-              "offchip-count");
+  if (auto Ec = Suite.parseArgs(Argc, Argv))
+    return *Ec;
 
+  struct Row {
+    std::string Name;
+    SimFuture Run;
+  };
+  std::vector<Row> Rows;
+  for (const std::string &Name : Suite.apps())
+    Rows.push_back({Name, Suite.run(Suite.app(Name), RunVariant::Original)});
+
+  Suite.header();
+  Suite.columns({{"app", 12},
+                 {"off-chip", 10},
+                 {"total-accesses", 14},
+                 {"offchip-count", 14}});
   double Sum = 0.0;
-  for (const std::string &Name : appNames()) {
-    AppModel App = buildApp(Name);
-    SimResult R = runVariant(App, Config, Mapping, RunVariant::Original);
-    std::printf("%-12s %9.1f%% %14llu %14llu\n", Name.c_str(),
-                100.0 * R.offChipFraction(),
-                static_cast<unsigned long long>(R.TotalAccesses),
-                static_cast<unsigned long long>(R.OffChipAccesses));
-    Sum += R.offChipFraction();
+  for (Row &R : Rows) {
+    const SimResult &Res = R.Run.get();
+    Sum += Res.offChipFraction();
+    Suite.row({R.Name, formatString("%.1f%%", 100.0 * Res.offChipFraction()),
+               formatString("%llu",
+                            static_cast<unsigned long long>(
+                                Res.TotalAccesses)),
+               formatString("%llu", static_cast<unsigned long long>(
+                                        Res.OffChipAccesses))});
   }
-  std::printf("%-12s %9.1f%%\n", "AVERAGE",
-              100.0 * Sum / static_cast<double>(appNames().size()));
+  Suite.row({"AVERAGE",
+             formatString("%.1f%%",
+                          100.0 * Sum /
+                              static_cast<double>(Suite.apps().size()))});
   return 0;
 }

@@ -8,33 +8,35 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
-
-#include <cstdio>
+#include "harness/BenchSuite.h"
 
 using namespace offchip;
 
-int main() {
+int main(int Argc, char **Argv) {
   MachineConfig Config = MachineConfig::scaledDefault();
   Config.Granularity = InterleaveGranularity::Page;
-  ClusterMapping Mapping = makeM1Mapping(Config);
-
-  printBenchHeader(
+  BenchSuite Suite(
       "Figure 4: headroom of the optimal scheme (page interleaving)",
       "avg on-chip net 20.8%, off-chip net 68.2%, mem 45.6%, exec 19.5%",
       Config);
-  std::printf("%-12s %12s %13s %11s %10s\n", "app", "onchip-net",
-              "offchip-net", "mem-lat", "exec");
+  if (auto Ec = Suite.parseArgs(Argc, Argv))
+    return *Ec;
 
-  std::vector<SavingsSummary> All;
-  for (const std::string &Name : appNames()) {
-    AppModel App = buildApp(Name);
-    SimResult Base = runVariant(App, Config, Mapping, RunVariant::Original);
-    SimResult Best = runVariant(App, Config, Mapping, RunVariant::Optimal);
-    SavingsSummary S = summarizeSavings(Base, Best);
-    printSavingsRow(Name, S);
-    All.push_back(S);
+  struct Row {
+    std::string Name;
+    SimFuture Base, Best;
+  };
+  std::vector<Row> Rows;
+  for (const std::string &Name : Suite.apps()) {
+    auto App = Suite.app(Name);
+    Rows.push_back({Name, Suite.run(App, RunVariant::Original),
+                    Suite.run(App, RunVariant::Optimal)});
   }
-  printSavingsAverage(All);
+
+  Suite.header();
+  Suite.savingsColumns();
+  for (Row &R : Rows)
+    Suite.savingsRow(R.Name, summarizeSavings(R.Base.get(), R.Best.get()));
+  Suite.savingsAverage();
   return 0;
 }

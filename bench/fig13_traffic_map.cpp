@@ -7,52 +7,57 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
-
-#include <cstdio>
+#include "harness/BenchSuite.h"
+#include "support/Format.h"
 
 using namespace offchip;
 
 namespace {
 
-void printMap(const char *Title, const SimResult &R, unsigned MeshX,
-              unsigned MeshY, unsigned MC) {
+std::string renderMap(const char *Title, const SimResult &R, unsigned MeshX,
+                      unsigned MeshY, unsigned MC) {
   std::uint64_t Total = 0;
   for (unsigned Node = 0; Node < MeshX * MeshY; ++Node)
     Total += R.trafficAt(Node, MC);
-  std::printf("%s (fraction of MC%u's requests from each node, %%):\n",
-              Title, MC + 1);
+  std::string Out = formatString(
+      "%s (fraction of MC%u's requests from each node, %%):\n", Title,
+      MC + 1);
   for (unsigned Y = 0; Y < MeshY; ++Y) {
-    std::printf("  ");
+    Out += "  ";
     for (unsigned X = 0; X < MeshX; ++X) {
       std::uint64_t C = R.trafficAt(Y * MeshX + X, MC);
       double Pct = Total == 0 ? 0.0
                               : 100.0 * static_cast<double>(C) /
                                     static_cast<double>(Total);
-      std::printf("%5.1f", Pct);
+      Out += formatString("%5.1f", Pct);
     }
-    std::printf("\n");
+    Out += "\n";
   }
-  std::printf("\n");
+  return Out;
 }
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
   MachineConfig Config = MachineConfig::scaledDefault();
   Config.Granularity = InterleaveGranularity::Page;
-  ClusterMapping Mapping = makeM1Mapping(Config);
-
-  printBenchHeader("Figure 13: off-chip access distribution for MC1 (apsi)",
+  BenchSuite Suite("Figure 13: off-chip access distribution for MC1 (apsi)",
                    "original: traffic from everywhere; optimized: skewed "
                    "toward the MC's own cluster",
                    Config);
+  if (auto Ec = Suite.parseArgs(Argc, Argv))
+    return *Ec;
+  const ClusterMapping &Mapping = Suite.m1();
 
-  AppModel App = buildApp("apsi");
-  SimResult Base = runVariant(App, Config, Mapping, RunVariant::Original);
-  SimResult Opt = runVariant(App, Config, Mapping, RunVariant::Optimized);
-  printMap("(a) original", Base, Config.MeshX, Config.MeshY, /*MC=*/0);
-  printMap("(b) optimized", Opt, Config.MeshX, Config.MeshY, /*MC=*/0);
+  auto App = Suite.app("apsi");
+  SimFuture Base = Suite.run(App, RunVariant::Original);
+  SimFuture Opt = Suite.run(App, RunVariant::Optimized);
+
+  Suite.header();
+  Suite.note(renderMap("(a) original", Base.get(), Config.MeshX,
+                       Config.MeshY, /*MC=*/0));
+  Suite.note(renderMap("(b) optimized", Opt.get(), Config.MeshX,
+                       Config.MeshY, /*MC=*/0));
 
   // Quantify the skew: share of MC1 traffic from its own 4x4 cluster.
   auto ClusterShare = [&](const SimResult &R) {
@@ -66,8 +71,9 @@ int main() {
     return Total == 0 ? 0.0
                       : static_cast<double>(In) / static_cast<double>(Total);
   };
-  std::printf("MC1 requests originating in MC1's cluster: original %.1f%%, "
-              "optimized %.1f%%\n",
-              100.0 * ClusterShare(Base), 100.0 * ClusterShare(Opt));
+  Suite.note(formatString(
+      "MC1 requests originating in MC1's cluster: original %.1f%%, "
+      "optimized %.1f%%",
+      100.0 * ClusterShare(Base.get()), 100.0 * ClusterShare(Opt.get())));
   return 0;
 }

@@ -7,33 +7,35 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
-
-#include <cstdio>
+#include "harness/BenchSuite.h"
 
 using namespace offchip;
 
-int main() {
+int main(int Argc, char **Argv) {
   MachineConfig Config = MachineConfig::scaledDefault();
   Config.Granularity = InterleaveGranularity::Page;
-  ClusterMapping Mapping = makeM1Mapping(Config);
-
-  printBenchHeader(
+  BenchSuite Suite(
       "Figure 14: savings under page interleaving (private L2, OS-assisted)",
       "avg on-chip net 12.1%, off-chip net 62.8%, mem 41.9%, exec 17.1%",
       Config);
-  std::printf("%-12s %12s %13s %11s %10s\n", "app", "onchip-net",
-              "offchip-net", "mem-lat", "exec");
+  if (auto Ec = Suite.parseArgs(Argc, Argv))
+    return *Ec;
 
-  std::vector<SavingsSummary> All;
-  for (const std::string &Name : appNames()) {
-    AppModel App = buildApp(Name);
-    SimResult Base = runVariant(App, Config, Mapping, RunVariant::Original);
-    SimResult Opt = runVariant(App, Config, Mapping, RunVariant::Optimized);
-    SavingsSummary S = summarizeSavings(Base, Opt);
-    printSavingsRow(Name, S);
-    All.push_back(S);
+  struct Row {
+    std::string Name;
+    SimFuture Base, Opt;
+  };
+  std::vector<Row> Rows;
+  for (const std::string &Name : Suite.apps()) {
+    auto App = Suite.app(Name);
+    Rows.push_back({Name, Suite.run(App, RunVariant::Original),
+                    Suite.run(App, RunVariant::Optimized)});
   }
-  printSavingsAverage(All);
+
+  Suite.header();
+  Suite.savingsColumns();
+  for (Row &R : Rows)
+    Suite.savingsRow(R.Name, summarizeSavings(R.Base.get(), R.Opt.get()));
+  Suite.savingsAverage();
   return 0;
 }

@@ -9,27 +9,35 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
-
-#include <cstdio>
+#include "harness/BenchSuite.h"
+#include "support/Format.h"
 
 using namespace offchip;
 
-int main() {
+int main(int Argc, char **Argv) {
   MachineConfig Config = MachineConfig::scaledDefault();
   Config.Granularity = InterleaveGranularity::Page;
-  ClusterMapping Mapping = makeM1Mapping(Config);
-
-  printBenchHeader("Figure 15: CDF of links traversed per message",
+  BenchSuite Suite("Figure 15: CDF of links traversed per message",
                    "optimized off-chip requests traverse fewer links; "
                    "on-chip distances barely change",
                    Config);
+  if (auto Ec = Suite.parseArgs(Argc, Argv))
+    return *Ec;
+
+  struct Pair {
+    SimFuture Base, Opt;
+  };
+  std::vector<Pair> Runs;
+  for (const std::string &Name : Suite.apps()) {
+    auto App = Suite.app(Name);
+    Runs.push_back({Suite.run(App, RunVariant::Original),
+                    Suite.run(App, RunVariant::Optimized)});
+  }
 
   IntHistogram BaseOff, BaseOn, OptOff, OptOn;
-  for (const std::string &Name : appNames()) {
-    AppModel App = buildApp(Name);
-    SimResult Base = runVariant(App, Config, Mapping, RunVariant::Original);
-    SimResult Opt = runVariant(App, Config, Mapping, RunVariant::Optimized);
+  for (Pair &P : Runs) {
+    const SimResult &Base = P.Base.get();
+    const SimResult &Opt = P.Opt.get();
     for (unsigned H = 0; H <= 16; ++H) {
       for (std::uint64_t I = 0; I < Base.OffChipMsgHops.countAt(H); ++I)
         BaseOff.addSample(H);
@@ -42,14 +50,22 @@ int main() {
     }
   }
 
-  std::printf("%-6s %12s %12s %12s %12s\n", "links", "offchip-orig",
-              "offchip-opt", "onchip-orig", "onchip-opt");
+  Suite.header();
+  Suite.columns({{"links", 6},
+                 {"offchip-orig", 12},
+                 {"offchip-opt", 12},
+                 {"onchip-orig", 12},
+                 {"onchip-opt", 12}});
   for (unsigned H = 0; H <= 14; ++H)
-    std::printf("%-6u %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n", H,
-                100.0 * BaseOff.cdfAt(H), 100.0 * OptOff.cdfAt(H),
-                100.0 * BaseOn.cdfAt(H), 100.0 * OptOn.cdfAt(H));
-  std::printf("\nmean links per message: off-chip %.2f -> %.2f, "
-              "on-chip %.2f -> %.2f\n",
-              BaseOff.mean(), OptOff.mean(), BaseOn.mean(), OptOn.mean());
+    Suite.row({formatString("%u", H),
+               formatString("%.1f%%", 100.0 * BaseOff.cdfAt(H)),
+               formatString("%.1f%%", 100.0 * OptOff.cdfAt(H)),
+               formatString("%.1f%%", 100.0 * BaseOn.cdfAt(H)),
+               formatString("%.1f%%", 100.0 * OptOn.cdfAt(H))});
+  Suite.note("");
+  Suite.note(formatString("mean links per message: off-chip %.2f -> %.2f, "
+                          "on-chip %.2f -> %.2f",
+                          BaseOff.mean(), OptOff.mean(), BaseOn.mean(),
+                          OptOn.mean()));
   return 0;
 }

@@ -10,38 +10,53 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/MappingSelector.h"
-#include "harness/Experiment.h"
-
-#include <cstdio>
+#include "harness/BenchSuite.h"
+#include "support/Format.h"
 
 using namespace offchip;
 
-int main() {
+int main(int Argc, char **Argv) {
   MachineConfig Config = MachineConfig::scaledDefault();
-  ClusterMapping M1 = makeM1Mapping(Config);
-  ClusterMapping M2 = makeM2Mapping(Config);
-
-  printBenchHeader("Figure 17: mapping M1 vs M2 execution-time savings",
+  BenchSuite Suite("Figure 17: mapping M1 vs M2 execution-time savings",
                    "M1 wins except for fma3d/minighost (high MLP demand)",
                    Config);
-  std::printf("%-12s %10s %10s %10s %14s\n", "app", "M1-exec", "M2-exec",
-              "better", "analysis-picks");
+  if (auto Ec = Suite.parseArgs(Argc, Argv))
+    return *Ec;
+  const ClusterMapping &M1 = Suite.m1();
+  const ClusterMapping &M2 = Suite.m2();
 
-  for (const std::string &Name : appNames()) {
-    AppModel App = buildApp(Name);
-    SimResult Base = runVariant(App, Config, M1, RunVariant::Original);
-    SimResult OptM1 = runVariant(App, Config, M1, RunVariant::Optimized);
-    SimResult OptM2 = runVariant(App, Config, M2, RunVariant::Optimized);
-    double SaveM1 = savings(static_cast<double>(Base.ExecutionCycles),
-                            static_cast<double>(OptM1.ExecutionCycles));
-    double SaveM2 = savings(static_cast<double>(Base.ExecutionCycles),
-                            static_cast<double>(OptM2.ExecutionCycles));
+  struct Row {
+    std::string Name;
+    double MemDemandPerCore;
+    SimFuture Base, OptM1, OptM2;
+  };
+  std::vector<Row> Rows;
+  for (const std::string &Name : Suite.apps()) {
+    auto App = Suite.app(Name);
+    Rows.push_back({Name, App->MemDemandPerCore,
+                    Suite.run(App, M1, RunVariant::Original),
+                    Suite.run(App, M1, RunVariant::Optimized),
+                    Suite.run(App, M2, RunVariant::Optimized)});
+  }
 
-    unsigned Pick =
-        selectBestMapping({&M1, &M2}, App.MemDemandPerCore);
-    std::printf("%-12s %9.1f%% %9.1f%% %10s %14s\n", Name.c_str(),
-                100.0 * SaveM1, 100.0 * SaveM2,
-                SaveM2 > SaveM1 ? "M2" : "M1", Pick == 1 ? "M2" : "M1");
+  Suite.header();
+  Suite.columns({{"app", 12},
+                 {"M1-exec", 10},
+                 {"M2-exec", 10},
+                 {"better", 10},
+                 {"analysis-picks", 14}});
+  for (Row &R : Rows) {
+    const SimResult &Base = R.Base.get();
+    double SaveM1 =
+        savings(static_cast<double>(Base.ExecutionCycles),
+                static_cast<double>(R.OptM1.get().ExecutionCycles));
+    double SaveM2 =
+        savings(static_cast<double>(Base.ExecutionCycles),
+                static_cast<double>(R.OptM2.get().ExecutionCycles));
+    unsigned Pick = selectBestMapping({&M1, &M2}, R.MemDemandPerCore);
+    Suite.row({R.Name, formatString("%.1f%%", 100.0 * SaveM1),
+               formatString("%.1f%%", 100.0 * SaveM2),
+               SaveM2 > SaveM1 ? "M2" : "M1", Pick == 1 ? "M2" : "M1"});
   }
   return 0;
 }

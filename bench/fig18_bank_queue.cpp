@@ -7,31 +7,42 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
+#include "harness/BenchSuite.h"
+#include "support/Format.h"
 
 #include <algorithm>
-#include <cstdio>
 
 using namespace offchip;
 
-int main() {
+int main(int Argc, char **Argv) {
   MachineConfig Config = MachineConfig::scaledDefault();
-  ClusterMapping Mapping = makeM1Mapping(Config);
-
-  printBenchHeader("Figure 18: bank queue occupancy under mapping M1",
+  BenchSuite Suite("Figure 18: bank queue occupancy under mapping M1",
                    "fma3d and minighost show the highest queue pressure",
                    Config);
-  std::printf("%-12s %10s %14s %12s\n", "app", "avg-occ", "hottest-MC-occ",
-              "row-hit");
+  if (auto Ec = Suite.parseArgs(Argc, Argv))
+    return *Ec;
 
-  for (const std::string &Name : appNames()) {
-    AppModel App = buildApp(Name);
-    SimResult R = runVariant(App, Config, Mapping, RunVariant::Optimized);
+  struct Row {
+    std::string Name;
+    SimFuture Run;
+  };
+  std::vector<Row> Rows;
+  for (const std::string &Name : Suite.apps())
+    Rows.push_back({Name, Suite.run(Suite.app(Name), RunVariant::Optimized)});
+
+  Suite.header();
+  Suite.columns({{"app", 12},
+                 {"avg-occ", 10},
+                 {"hottest-MC-occ", 14},
+                 {"row-hit", 12}});
+  for (Row &R : Rows) {
+    const SimResult &Res = R.Run.get();
     double MaxOcc = 0.0;
-    for (double Occ : R.PerMCQueueOccupancy)
+    for (double Occ : Res.PerMCQueueOccupancy)
       MaxOcc = std::max(MaxOcc, Occ);
-    std::printf("%-12s %10.2f %14.2f %11.1f%%\n", Name.c_str(),
-                R.AvgBankQueueOccupancy, MaxOcc, 100.0 * R.RowHitRate);
+    Suite.row({R.Name, formatString("%.2f", Res.AvgBankQueueOccupancy),
+               formatString("%.2f", MaxOcc),
+               formatString("%.1f%%", 100.0 * Res.RowHitRate)});
   }
   return 0;
 }

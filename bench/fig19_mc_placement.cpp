@@ -7,53 +7,77 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
-
-#include <cstdio>
+#include "harness/BenchSuite.h"
+#include "support/Format.h"
 
 using namespace offchip;
 
-int main() {
+int main(int Argc, char **Argv) {
   MachineConfig Config = MachineConfig::scaledDefault();
-
-  printBenchHeader("Figure 19: savings under different MC placements",
+  BenchSuite Suite("Figure 19: savings under different MC placements",
                    "P2 (edge midpoints) slightly best; paper avg ~20.7%",
                    Config);
+  if (auto Ec = Suite.parseArgs(Argc, Argv))
+    return *Ec;
 
   const MCPlacementKind Kinds[] = {MCPlacementKind::Corners,
                                    MCPlacementKind::EdgeMidpoints,
                                    MCPlacementKind::TopBottomSpread};
   const char *Names[] = {"P1-corners", "P2-edges", "P3-topbottom"};
 
-  std::printf("%-12s %12s %12s %12s\n", "app", Names[0], Names[1], Names[2]);
+  // One mapping per placement, shared by every app's jobs.
+  std::vector<MachineConfig> Configs;
+  std::vector<ClusterMapping> Mappings;
+  for (MCPlacementKind Kind : Kinds) {
+    MachineConfig C = Config;
+    C.Placement = Kind;
+    Configs.push_back(C);
+    Mappings.push_back(makeM1Mapping(C));
+  }
+
+  struct Row {
+    std::string Name;
+    SimFuture Base[3], Opt[3];
+  };
+  std::vector<Row> Rows;
+  for (const std::string &Name : Suite.apps()) {
+    auto App = Suite.app(Name);
+    Row R;
+    R.Name = Name;
+    for (unsigned P = 0; P < 3; ++P) {
+      R.Base[P] =
+          Suite.run(App, Configs[P], Mappings[P], RunVariant::Original);
+      R.Opt[P] =
+          Suite.run(App, Configs[P], Mappings[P], RunVariant::Optimized);
+    }
+    Rows.push_back(std::move(R));
+  }
+
+  Suite.header();
+  Suite.columns(
+      {{"app", 12}, {Names[0], 12}, {Names[1], 12}, {Names[2], 12}});
   double Sum[3] = {0, 0, 0};
-  for (const std::string &Name : appNames()) {
-    AppModel App = buildApp(Name);
+  for (Row &R : Rows) {
     double Save[3];
     for (unsigned P = 0; P < 3; ++P) {
-      MachineConfig C = Config;
-      C.Placement = Kinds[P];
-      ClusterMapping Mapping = makeM1Mapping(C);
-      SimResult Base = runVariant(App, C, Mapping, RunVariant::Original);
-      SimResult Opt = runVariant(App, C, Mapping, RunVariant::Optimized);
-      Save[P] = savings(static_cast<double>(Base.ExecutionCycles),
-                        static_cast<double>(Opt.ExecutionCycles));
+      Save[P] = savings(
+          static_cast<double>(R.Base[P].get().ExecutionCycles),
+          static_cast<double>(R.Opt[P].get().ExecutionCycles));
       Sum[P] += Save[P];
     }
-    std::printf("%-12s %11.1f%% %11.1f%% %11.1f%%\n", Name.c_str(),
-                100.0 * Save[0], 100.0 * Save[1], 100.0 * Save[2]);
+    Suite.row({R.Name, formatString("%.1f%%", 100.0 * Save[0]),
+               formatString("%.1f%%", 100.0 * Save[1]),
+               formatString("%.1f%%", 100.0 * Save[2])});
   }
-  double N = static_cast<double>(appNames().size());
-  std::printf("%-12s %11.1f%% %11.1f%% %11.1f%%\n", "AVERAGE",
-              100.0 * Sum[0] / N, 100.0 * Sum[1] / N, 100.0 * Sum[2] / N);
+  double N = static_cast<double>(Suite.apps().size());
+  Suite.row({"AVERAGE", formatString("%.1f%%", 100.0 * Sum[0] / N),
+             formatString("%.1f%%", 100.0 * Sum[1] / N),
+             formatString("%.1f%%", 100.0 * Sum[2] / N)});
 
   // Static distance check backing the paper's explanation.
-  for (unsigned P = 0; P < 3; ++P) {
-    MachineConfig C = Config;
-    C.Placement = Kinds[P];
-    ClusterMapping Mapping = makeM1Mapping(C);
-    std::printf("%s: avg assigned-MC distance %.2f links\n", Names[P],
-                Mapping.averageDistanceToAssignedMCs());
-  }
+  for (unsigned P = 0; P < 3; ++P)
+    Suite.note(formatString("%s: avg assigned-MC distance %.2f links",
+                            Names[P],
+                            Mappings[P].averageDistanceToAssignedMCs()));
   return 0;
 }

@@ -8,47 +8,72 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
-
-#include <cstdio>
+#include "harness/BenchSuite.h"
+#include "support/Format.h"
 
 using namespace offchip;
 
-int main() {
+int main(int Argc, char **Argv) {
   MachineConfig Config = MachineConfig::scaledDefault();
-
-  printBenchHeader("Figure 20: savings vs memory controller count",
+  BenchSuite Suite("Figure 20: savings vs memory controller count",
                    "savings grow with more MCs (better per-cluster MLP)",
                    Config);
+  if (auto Ec = Suite.parseArgs(Argc, Argv))
+    return *Ec;
 
   const unsigned Counts[] = {4, 8, 16};
-  std::printf("%-12s %10s %10s %10s\n", "app", "4 MCs", "8 MCs", "16 MCs");
+  // Figure 27 keeps the four 4x4 clusters of Figure 8a and gives each
+  // cluster more controllers (k = 1, 2, 4): the added memory parallelism
+  // per cluster is what the paper credits for the growing savings. 4 MCs
+  // sit at the corners; the larger counts spread along the top and bottom
+  // edges so each cluster's group stays adjacent.
+  std::vector<MachineConfig> Configs;
+  std::vector<ClusterMapping> Mappings;
+  for (unsigned Count : Counts) {
+    MachineConfig C = Config;
+    C.NumMCs = Count;
+    C.Placement = Count == 4 ? MCPlacementKind::Corners
+                             : MCPlacementKind::TopBottomSpread;
+    Configs.push_back(C);
+    Mappings.push_back(makeM2Mapping(C, /*MCsPerCluster=*/Count / 4));
+  }
+
+  struct Row {
+    std::string Name;
+    SimFuture Base[3], Opt[3];
+  };
+  std::vector<Row> Rows;
+  for (const std::string &Name : Suite.apps()) {
+    auto App = Suite.app(Name);
+    Row R;
+    R.Name = Name;
+    for (unsigned I = 0; I < 3; ++I) {
+      R.Base[I] =
+          Suite.run(App, Configs[I], Mappings[I], RunVariant::Original);
+      R.Opt[I] =
+          Suite.run(App, Configs[I], Mappings[I], RunVariant::Optimized);
+    }
+    Rows.push_back(std::move(R));
+  }
+
+  Suite.header();
+  Suite.columns({{"app", 12}, {"4 MCs", 10}, {"8 MCs", 10}, {"16 MCs", 10}});
   double Sum[3] = {0, 0, 0};
-  for (const std::string &Name : appNames()) {
-    AppModel App = buildApp(Name);
+  for (Row &R : Rows) {
     double Save[3];
     for (unsigned I = 0; I < 3; ++I) {
-      MachineConfig C = Config;
-      C.NumMCs = Counts[I];
-      // Figure 27 keeps the four 4x4 clusters of Figure 8a and gives each
-      // cluster more controllers (k = 1, 2, 4): the added memory
-      // parallelism per cluster is what the paper credits for the growing
-      // savings. 4 MCs sit at the corners; the larger counts spread along
-      // the top and bottom edges so each cluster's group stays adjacent.
-      C.Placement = Counts[I] == 4 ? MCPlacementKind::Corners
-                                   : MCPlacementKind::TopBottomSpread;
-      ClusterMapping Mapping = makeM2Mapping(C, /*MCsPerCluster=*/Counts[I] / 4);
-      SimResult Base = runVariant(App, C, Mapping, RunVariant::Original);
-      SimResult Opt = runVariant(App, C, Mapping, RunVariant::Optimized);
-      Save[I] = savings(static_cast<double>(Base.ExecutionCycles),
-                        static_cast<double>(Opt.ExecutionCycles));
+      Save[I] = savings(
+          static_cast<double>(R.Base[I].get().ExecutionCycles),
+          static_cast<double>(R.Opt[I].get().ExecutionCycles));
       Sum[I] += Save[I];
     }
-    std::printf("%-12s %9.1f%% %9.1f%% %9.1f%%\n", Name.c_str(),
-                100.0 * Save[0], 100.0 * Save[1], 100.0 * Save[2]);
+    Suite.row({R.Name, formatString("%.1f%%", 100.0 * Save[0]),
+               formatString("%.1f%%", 100.0 * Save[1]),
+               formatString("%.1f%%", 100.0 * Save[2])});
   }
-  double N = static_cast<double>(appNames().size());
-  std::printf("%-12s %9.1f%% %9.1f%% %9.1f%%\n", "AVERAGE", 100.0 * Sum[0] / N,
-              100.0 * Sum[1] / N, 100.0 * Sum[2] / N);
+  double N = static_cast<double>(Suite.apps().size());
+  Suite.row({"AVERAGE", formatString("%.1f%%", 100.0 * Sum[0] / N),
+             formatString("%.1f%%", 100.0 * Sum[1] / N),
+             formatString("%.1f%%", 100.0 * Sum[2] / N)});
   return 0;
 }

@@ -7,47 +7,72 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
-
-#include <cstdio>
+#include "harness/BenchSuite.h"
+#include "support/Format.h"
 
 using namespace offchip;
 
-int main() {
+int main(int Argc, char **Argv) {
   MachineConfig Config = MachineConfig::scaledDefault();
-
-  printBenchHeader("Figure 21: savings vs core count",
+  BenchSuite Suite("Figure 21: savings vs core count",
                    "savings grow with the mesh: paper ~14% (4x4), ~18% "
                    "(4x8), 20.5% (8x8)",
                    Config);
+  if (auto Ec = Suite.parseArgs(Argc, Argv))
+    return *Ec;
 
   struct MeshSize {
     unsigned X, Y;
   };
   const MeshSize Sizes[] = {{4, 4}, {4, 8}, {8, 8}};
-  std::printf("%-12s %10s %10s %10s\n", "app", "4x4", "4x8", "8x8");
+  std::vector<MachineConfig> Configs;
+  std::vector<ClusterMapping> Mappings;
+  for (const MeshSize &Size : Sizes) {
+    MachineConfig C = Config;
+    C.MeshX = Size.X;
+    C.MeshY = Size.Y;
+    Configs.push_back(C);
+    Mappings.push_back(makeM1Mapping(C));
+  }
+
+  struct Row {
+    std::string Name;
+    SimFuture Base[3], Opt[3];
+  };
+  std::vector<Row> Rows;
+  for (const std::string &Name : Suite.apps()) {
+    Row R;
+    R.Name = Name;
+    for (unsigned I = 0; I < 3; ++I) {
+      // Keep per-core work comparable across machine sizes.
+      double Scale = static_cast<double>(Configs[I].numNodes()) / 64.0;
+      auto App = Suite.app(Name, Scale < 0.3 ? 0.5 : Scale);
+      R.Base[I] =
+          Suite.run(App, Configs[I], Mappings[I], RunVariant::Original);
+      R.Opt[I] =
+          Suite.run(App, Configs[I], Mappings[I], RunVariant::Optimized);
+    }
+    Rows.push_back(std::move(R));
+  }
+
+  Suite.header();
+  Suite.columns({{"app", 12}, {"4x4", 10}, {"4x8", 10}, {"8x8", 10}});
   double Sum[3] = {0, 0, 0};
-  for (const std::string &Name : appNames()) {
+  for (Row &R : Rows) {
     double Save[3];
     for (unsigned I = 0; I < 3; ++I) {
-      MachineConfig C = Config;
-      C.MeshX = Sizes[I].X;
-      C.MeshY = Sizes[I].Y;
-      ClusterMapping Mapping = makeM1Mapping(C);
-      // Keep per-core work comparable across machine sizes.
-      double Scale = static_cast<double>(C.numNodes()) / 64.0;
-      AppModel App = buildApp(Name, Scale < 0.3 ? 0.5 : Scale);
-      SimResult Base = runVariant(App, C, Mapping, RunVariant::Original);
-      SimResult Opt = runVariant(App, C, Mapping, RunVariant::Optimized);
-      Save[I] = savings(static_cast<double>(Base.ExecutionCycles),
-                        static_cast<double>(Opt.ExecutionCycles));
+      Save[I] = savings(
+          static_cast<double>(R.Base[I].get().ExecutionCycles),
+          static_cast<double>(R.Opt[I].get().ExecutionCycles));
       Sum[I] += Save[I];
     }
-    std::printf("%-12s %9.1f%% %9.1f%% %9.1f%%\n", Name.c_str(),
-                100.0 * Save[0], 100.0 * Save[1], 100.0 * Save[2]);
+    Suite.row({R.Name, formatString("%.1f%%", 100.0 * Save[0]),
+               formatString("%.1f%%", 100.0 * Save[1]),
+               formatString("%.1f%%", 100.0 * Save[2])});
   }
-  double N = static_cast<double>(appNames().size());
-  std::printf("%-12s %9.1f%% %9.1f%% %9.1f%%\n", "AVERAGE", 100.0 * Sum[0] / N,
-              100.0 * Sum[1] / N, 100.0 * Sum[2] / N);
+  double N = static_cast<double>(Suite.apps().size());
+  Suite.row({"AVERAGE", formatString("%.1f%%", 100.0 * Sum[0] / N),
+             formatString("%.1f%%", 100.0 * Sum[1] / N),
+             formatString("%.1f%%", 100.0 * Sum[2] / N)});
   return 0;
 }

@@ -8,54 +8,57 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
-
+#include "harness/BenchSuite.h"
 #include "support/Format.h"
-
-#include <cstdio>
 
 using namespace offchip;
 
-int main() {
+int main(int Argc, char **Argv) {
   MachineConfig Config = MachineConfig::scaledDefault();
   Config.SharedL2 = true;
   Config.Granularity = InterleaveGranularity::CacheLine;
-  ClusterMapping Mapping = makeM1Mapping(Config);
-
-  printBenchHeader(
+  BenchSuite Suite(
       "Figure 22: savings with shared (SNUCA) L2, cache-line interleaving",
       "avg exec saving ~24.3%; worse than private L2 only on "
       "fma3d/minighost",
       Config);
-  std::printf("%-12s %12s %13s %11s %10s %12s\n", "app", "onchip-net",
-              "offchip-net", "mem-lat", "exec", "no-delta");
+  if (auto Ec = Suite.parseArgs(Argc, Argv))
+    return *Ec;
 
-  std::vector<SavingsSummary> All;
-  for (const std::string &Name : appNames()) {
-    AppModel App = buildApp(Name);
-    SimResult Base = runVariant(App, Config, Mapping, RunVariant::Original);
-    SimResult Opt = runVariant(App, Config, Mapping, RunVariant::Optimized);
-    SavingsSummary S = summarizeSavings(Base, Opt);
-
+  struct Row {
+    std::string Name;
+    SimFuture Base, Opt, NoDelta;
+  };
+  std::vector<Row> Rows;
+  for (const std::string &Name : Suite.apps()) {
+    auto App = Suite.app(Name);
     // Ablation: customized layout with the off-chip delta-skip disabled.
-    MachineConfig CNoDelta = Config;
-    LayoutOptions O = CNoDelta.layoutOptions();
-    O.EnableDeltaSkip = false;
-    LayoutTransformer Pass(Mapping, O);
-    LayoutPlan PlanNoDelta = Pass.run(App.Program);
-    SimResult NoDelta = runSingle(App.Program, PlanNoDelta, CNoDelta,
-                                  Mapping, App.ComputeGapCycles);
+    ClusterMapping Mapping = Suite.m1();
+    MachineConfig C = Config;
+    SimFuture NoDelta = Suite.runCustom([App, Mapping, C]() -> SimResult {
+      LayoutOptions O = C.layoutOptions();
+      O.EnableDeltaSkip = false;
+      LayoutTransformer Pass(Mapping, O);
+      LayoutPlan Plan = Pass.run(App->Program);
+      return runSingle(App->Program, Plan, C, Mapping,
+                       App->ComputeGapCycles);
+    });
+    Rows.push_back({Name, Suite.run(App, RunVariant::Original),
+                    Suite.run(App, RunVariant::Optimized),
+                    std::move(NoDelta)});
+  }
+
+  Suite.header();
+  Suite.savingsColumns({{"no-delta", 12}});
+  for (Row &R : Rows) {
+    const SimResult &Base = R.Base.get();
+    SavingsSummary S = summarizeSavings(Base, R.Opt.get());
     double NoDeltaSave =
         savings(static_cast<double>(Base.ExecutionCycles),
-                static_cast<double>(NoDelta.ExecutionCycles));
-
-    std::printf("%-12s %12s %13s %11s %10s %11.1f%%\n", Name.c_str(),
-                formatPercent(S.OnChipNetLatency).c_str(),
-                formatPercent(S.OffChipNetLatency).c_str(),
-                formatPercent(S.MemLatency).c_str(),
-                formatPercent(S.ExecutionTime).c_str(), 100.0 * NoDeltaSave);
-    All.push_back(S);
+                static_cast<double>(R.NoDelta.get().ExecutionCycles));
+    Suite.savingsRow(R.Name, S,
+                     {formatString("%.1f%%", 100.0 * NoDeltaSave)});
   }
-  printSavingsAverage(All);
+  Suite.savingsAverage();
   return 0;
 }

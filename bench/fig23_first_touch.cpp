@@ -9,32 +9,44 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
-
-#include <cstdio>
+#include "harness/BenchSuite.h"
+#include "support/Format.h"
 
 using namespace offchip;
 
-int main() {
+int main(int Argc, char **Argv) {
   MachineConfig Config = MachineConfig::scaledDefault();
   Config.Granularity = InterleaveGranularity::Page;
-  ClusterMapping Mapping = makeM1Mapping(Config);
-
-  printBenchHeader(
+  BenchSuite Suite(
       "Figure 23: compiler-guided allocation vs OS first-touch",
       "compiler beats first-touch by ~12.3% avg; first-touch competitive "
       "only on wupwise/gafort/minimd",
       Config);
-  std::printf("%-12s %14s %14s %16s\n", "app", "vs-interleave",
-              "firsttouch-gain", "compiler-vs-FT");
+  if (auto Ec = Suite.parseArgs(Argc, Argv))
+    return *Ec;
 
+  struct Row {
+    std::string Name;
+    SimFuture Base, FT, Opt;
+  };
+  std::vector<Row> Rows;
+  for (const std::string &Name : Suite.apps()) {
+    auto App = Suite.app(Name);
+    Rows.push_back({Name, Suite.run(App, RunVariant::Original),
+                    Suite.run(App, RunVariant::FirstTouch),
+                    Suite.run(App, RunVariant::Optimized)});
+  }
+
+  Suite.header();
+  Suite.columns({{"app", 12},
+                 {"vs-interleave", 14},
+                 {"firsttouch-gain", 14},
+                 {"compiler-vs-FT", 16}});
   double Sum = 0.0;
-  for (const std::string &Name : appNames()) {
-    AppModel App = buildApp(Name);
-    SimResult Base = runVariant(App, Config, Mapping, RunVariant::Original);
-    SimResult FT = runVariant(App, Config, Mapping, RunVariant::FirstTouch);
-    SimResult Opt = runVariant(App, Config, Mapping, RunVariant::Optimized);
-
+  for (Row &R : Rows) {
+    const SimResult &Base = R.Base.get();
+    const SimResult &FT = R.FT.get();
+    const SimResult &Opt = R.Opt.get();
     double OptSave = savings(static_cast<double>(Base.ExecutionCycles),
                              static_cast<double>(Opt.ExecutionCycles));
     double FTSave = savings(static_cast<double>(Base.ExecutionCycles),
@@ -42,10 +54,13 @@ int main() {
     double OverFT = savings(static_cast<double>(FT.ExecutionCycles),
                             static_cast<double>(Opt.ExecutionCycles));
     Sum += OverFT;
-    std::printf("%-12s %13.1f%% %13.1f%% %15.1f%%\n", Name.c_str(),
-                100.0 * OptSave, 100.0 * FTSave, 100.0 * OverFT);
+    Suite.row({R.Name, formatString("%.1f%%", 100.0 * OptSave),
+               formatString("%.1f%%", 100.0 * FTSave),
+               formatString("%.1f%%", 100.0 * OverFT)});
   }
-  std::printf("%-12s %*s %15.1f%%\n", "AVERAGE", 29, "",
-              100.0 * Sum / static_cast<double>(appNames().size()));
+  Suite.row({"AVERAGE", "", "",
+             formatString("%.1f%%",
+                          100.0 * Sum /
+                              static_cast<double>(Suite.apps().size()))});
   return 0;
 }

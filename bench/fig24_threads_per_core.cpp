@@ -8,39 +8,61 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
-
-#include <cstdio>
+#include "harness/BenchSuite.h"
+#include "support/Format.h"
 
 using namespace offchip;
 
-int main() {
+int main(int Argc, char **Argv) {
   MachineConfig Config = MachineConfig::scaledDefault();
+  BenchSuite Suite("Figure 24: savings vs threads per core",
+                   "savings grow with threads per core", Config);
+  if (auto Ec = Suite.parseArgs(Argc, Argv))
+    return *Ec;
 
-  printBenchHeader("Figure 24: savings vs threads per core",
-                   "savings grow with threads per core",
-                   Config);
+  std::vector<MachineConfig> Configs;
+  std::vector<ClusterMapping> Mappings;
+  for (unsigned T = 0; T < 2; ++T) {
+    MachineConfig C = Config;
+    C.ThreadsPerCore = T + 1;
+    Configs.push_back(C);
+    Mappings.push_back(makeM1Mapping(C));
+  }
 
-  std::printf("%-12s %12s %12s\n", "app", "1 thread", "2 threads");
+  struct Row {
+    std::string Name;
+    SimFuture Base[2], Opt[2];
+  };
+  std::vector<Row> Rows;
+  for (const std::string &Name : Suite.apps()) {
+    auto App = Suite.app(Name);
+    Row R;
+    R.Name = Name;
+    for (unsigned T = 0; T < 2; ++T) {
+      R.Base[T] =
+          Suite.run(App, Configs[T], Mappings[T], RunVariant::Original);
+      R.Opt[T] =
+          Suite.run(App, Configs[T], Mappings[T], RunVariant::Optimized);
+    }
+    Rows.push_back(std::move(R));
+  }
+
+  Suite.header();
+  Suite.columns({{"app", 12}, {"1 thread", 12}, {"2 threads", 12}});
   double Sum[2] = {0, 0};
-  for (const std::string &Name : appNames()) {
-    AppModel App = buildApp(Name);
+  for (Row &R : Rows) {
     double Save[2];
     for (unsigned T = 0; T < 2; ++T) {
-      MachineConfig C = Config;
-      C.ThreadsPerCore = T + 1;
-      ClusterMapping Mapping = makeM1Mapping(C);
-      SimResult Base = runVariant(App, C, Mapping, RunVariant::Original);
-      SimResult Opt = runVariant(App, C, Mapping, RunVariant::Optimized);
-      Save[T] = savings(static_cast<double>(Base.ExecutionCycles),
-                        static_cast<double>(Opt.ExecutionCycles));
+      Save[T] = savings(
+          static_cast<double>(R.Base[T].get().ExecutionCycles),
+          static_cast<double>(R.Opt[T].get().ExecutionCycles));
       Sum[T] += Save[T];
     }
-    std::printf("%-12s %11.1f%% %11.1f%%\n", Name.c_str(), 100.0 * Save[0],
-                100.0 * Save[1]);
+    Suite.row({R.Name, formatString("%.1f%%", 100.0 * Save[0]),
+               formatString("%.1f%%", 100.0 * Save[1])});
   }
-  double N = static_cast<double>(appNames().size());
-  std::printf("%-12s %11.1f%% %11.1f%%\n", "AVERAGE", 100.0 * Sum[0] / N,
-              100.0 * Sum[1] / N);
+  double N = static_cast<double>(Suite.apps().size());
+  Suite.row({"AVERAGE", formatString("%.1f%%", 100.0 * Sum[0] / N),
+             formatString("%.1f%%", 100.0 * Sum[1] / N)});
   return 0;
 }

@@ -9,59 +9,60 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
+#include "harness/BenchSuite.h"
+#include "support/Format.h"
 
-#include <cstdio>
 #include <map>
 
 using namespace offchip;
 
 namespace {
 
-/// Accesses-per-cycle of each app when run alone on the whole machine.
-double aloneRate(const AppModel &App, const MachineConfig &Config,
-                 const ClusterMapping &Mapping, RunVariant Variant) {
-  SimResult R = runVariant(App, Config, Mapping, Variant);
-  return static_cast<double>(R.TotalAccesses) /
-         static_cast<double>(R.ExecutionCycles);
-}
+using AppList = std::vector<std::shared_ptr<const AppModel>>;
 
-double weightedSpeedup(const std::vector<AppModel> &Apps,
-                       const std::vector<double> &AloneRates,
-                       const MachineConfig &Config,
-                       const ClusterMapping &Mapping, bool Optimized) {
-  // Co-scheduling: every application runs one thread on every core (the
-  // cores are time-shared between the apps), so each app's 64-thread
-  // layout assumptions hold and the mixes contend for caches, links and
-  // banks — the interference weighted speedup measures.
-  std::vector<unsigned> AllNodes;
-  for (unsigned T = 0; T < Mapping.mesh().numNodes(); ++T)
-    AllNodes.push_back(Mapping.threadToNode(T));
-  std::vector<LayoutPlan> Plans;
-  std::vector<AppInstance> Instances;
+/// Schedules the co-run of \p Apps (every app runs one thread on every
+/// core; the mixes contend for caches, links and banks). The per-app
+/// finish/access outputs land in \p Multi once the returned future
+/// resolves.
+SimFuture scheduleMix(BenchSuite &Suite, AppList Apps,
+                      const MachineConfig &Config,
+                      const ClusterMapping &Mapping, bool Optimized,
+                      std::shared_ptr<MultiRunOutputs> Multi) {
   MachineConfig C = Config;
   if (Optimized && C.Granularity == InterleaveGranularity::Page)
     C.PagePolicy = PageAllocPolicy::CompilerGuided;
-  for (unsigned I = 0; I < Apps.size(); ++I) {
-    if (Optimized) {
-      LayoutTransformer Pass(Mapping, C.layoutOptions());
-      Plans.push_back(Pass.run(Apps[I].Program));
-    } else {
-      Plans.push_back(LayoutTransformer::originalPlan(Apps[I].Program));
+  ClusterMapping M = Mapping;
+  return Suite.runCustom([Apps = std::move(Apps), C, M = std::move(M),
+                          Optimized, Multi]() -> SimResult {
+    std::vector<unsigned> AllNodes;
+    for (unsigned T = 0; T < M.mesh().numNodes(); ++T)
+      AllNodes.push_back(M.threadToNode(T));
+    std::vector<LayoutPlan> Plans;
+    for (const auto &App : Apps) {
+      if (Optimized) {
+        LayoutTransformer Pass(M, C.layoutOptions());
+        Plans.push_back(Pass.run(App->Program));
+      } else {
+        Plans.push_back(LayoutTransformer::originalPlan(App->Program));
+      }
     }
-  }
-  for (unsigned I = 0; I < Apps.size(); ++I) {
-    AppInstance Inst;
-    Inst.Program = &Apps[I].Program;
-    Inst.Plan = &Plans[I];
-    Inst.Nodes = AllNodes;
-    Inst.ComputeGapCycles = Apps[I].ComputeGapCycles;
-    Instances.push_back(std::move(Inst));
-  }
-  MultiRunOutputs Multi;
-  runSimulation(Instances, C, Mapping, &Multi);
+    std::vector<AppInstance> Instances;
+    for (unsigned I = 0; I < Apps.size(); ++I) {
+      AppInstance Inst;
+      Inst.Program = &Apps[I]->Program;
+      Inst.Plan = &Plans[I];
+      Inst.Nodes = AllNodes;
+      Inst.ComputeGapCycles = Apps[I]->ComputeGapCycles;
+      Instances.push_back(std::move(Inst));
+    }
+    return runSimulation(Instances, C, M, Multi.get());
+  });
+}
+
+double weightedSpeedup(const MultiRunOutputs &Multi,
+                       const std::vector<double> &AloneRates) {
   double WS = 0.0;
-  for (unsigned I = 0; I < Apps.size(); ++I) {
+  for (unsigned I = 0; I < AloneRates.size(); ++I) {
     double SharedRate = static_cast<double>(Multi.AppAccesses[I]) /
                         static_cast<double>(Multi.AppFinishCycles[I]);
     WS += SharedRate / AloneRates[I];
@@ -71,42 +72,75 @@ double weightedSpeedup(const std::vector<AppModel> &Apps,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
   MachineConfig Config = MachineConfig::scaledDefault();
-  ClusterMapping Mapping = makeM1Mapping(Config);
-
-  printBenchHeader("Figure 25: multiprogrammed workloads, weighted speedup",
+  BenchSuite Suite("Figure 25: multiprogrammed workloads, weighted speedup",
                    "improvements between 5.4% and 13.1% depending on mix",
                    Config);
-  std::printf("%-36s %10s %10s %10s\n", "workload", "WS-orig", "WS-opt",
-              "gain");
+  if (auto Ec = Suite.parseArgs(Argc, Argv))
+    return *Ec;
+  const ClusterMapping &Mapping = Suite.m1();
 
-  for (const std::vector<std::string> &Mix : multiprogramMixes()) {
-    std::vector<AppModel> Apps;
+  struct MixRow {
     std::string Label;
+    std::vector<SimFuture> Alone; // accesses-per-cycle when run alone
+    SimFuture Base, Opt;
+    std::shared_ptr<MultiRunOutputs> MultiBase, MultiOpt;
+  };
+  // Alone-rate runs are shared between mixes containing the same app at the
+  // same scale.
+  std::map<std::pair<std::string, double>, SimFuture> AloneCache;
+
+  std::vector<MixRow> Rows;
+  for (const std::vector<std::string> &Mix : multiprogramMixes()) {
+    MixRow Row;
+    AppList Apps;
     for (const std::string &Name : Mix) {
       // Scale the 2D/1D apps down so a mix's total footprint resembles one
       // full-size app; the 3D grids keep their full extent (their partition
       // dimension must cover all 64 threads).
       bool Is3D = Name == "mgrid" || Name == "applu" || Name == "apsi" ||
                   Name == "minighost";
-      Apps.push_back(buildApp(Name, Is3D ? 1.0
-                                         : (Mix.size() > 2 ? 0.45 : 0.6)));
-      if (!Label.empty())
-        Label += "+";
-      Label += Name;
+      double Scale = Is3D ? 1.0 : (Mix.size() > 2 ? 0.45 : 0.6);
+      auto App = Suite.app(Name, Scale);
+      Apps.push_back(App);
+      auto Key = std::make_pair(Name, Scale);
+      auto It = AloneCache.find(Key);
+      if (It == AloneCache.end())
+        It = AloneCache
+                 .emplace(Key, Suite.run(App, RunVariant::Original))
+                 .first;
+      Row.Alone.push_back(It->second);
+      if (!Row.Label.empty())
+        Row.Label += "+";
+      Row.Label += Name;
     }
-    std::vector<double> AloneRates;
-    for (const AppModel &App : Apps)
-      AloneRates.push_back(
-          aloneRate(App, Config, Mapping, RunVariant::Original));
+    Row.MultiBase = std::make_shared<MultiRunOutputs>();
+    Row.MultiOpt = std::make_shared<MultiRunOutputs>();
+    Row.Base = scheduleMix(Suite, Apps, Config, Mapping,
+                           /*Optimized=*/false, Row.MultiBase);
+    Row.Opt = scheduleMix(Suite, std::move(Apps), Config, Mapping,
+                          /*Optimized=*/true, Row.MultiOpt);
+    Rows.push_back(std::move(Row));
+  }
 
-    double WSBase = weightedSpeedup(Apps, AloneRates, Config, Mapping,
-                                    /*Optimized=*/false);
-    double WSOpt = weightedSpeedup(Apps, AloneRates, Config, Mapping,
-                                   /*Optimized=*/true);
-    std::printf("%-36s %10.3f %10.3f %9.1f%%\n", Label.c_str(), WSBase,
-                WSOpt, 100.0 * (WSOpt / WSBase - 1.0));
+  Suite.header();
+  Suite.columns(
+      {{"workload", 36}, {"WS-orig", 10}, {"WS-opt", 10}, {"gain", 10}});
+  for (MixRow &Row : Rows) {
+    std::vector<double> AloneRates;
+    for (SimFuture &F : Row.Alone) {
+      const SimResult &R = F.get();
+      AloneRates.push_back(static_cast<double>(R.TotalAccesses) /
+                           static_cast<double>(R.ExecutionCycles));
+    }
+    Row.Base.get(); // synchronizes MultiBase
+    Row.Opt.get();  // synchronizes MultiOpt
+    double WSBase = weightedSpeedup(*Row.MultiBase, AloneRates);
+    double WSOpt = weightedSpeedup(*Row.MultiOpt, AloneRates);
+    Suite.row({Row.Label, formatString("%.3f", WSBase),
+               formatString("%.3f", WSOpt),
+               formatString("%.1f%%", 100.0 * (WSOpt / WSBase - 1.0))});
   }
   return 0;
 }

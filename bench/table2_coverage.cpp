@@ -8,39 +8,43 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
-
-#include <cstdio>
+#include "harness/BenchSuite.h"
+#include "support/Format.h"
 
 using namespace offchip;
 
-int main() {
+int main(int Argc, char **Argv) {
   MachineConfig Config = MachineConfig::scaledDefault();
-  ClusterMapping Mapping = makeM1Mapping(Config);
-
-  printBenchHeader("Table 2: layout pass coverage",
+  BenchSuite Suite("Table 2: layout pass coverage",
                    "arrays optimized / references satisfied per application",
                    Config);
-  std::printf("%-12s %10s %14s  %s\n", "app", "arrays", "refs-satisfied",
-              "unoptimized arrays (reason)");
+  if (auto Ec = Suite.parseArgs(Argc, Argv))
+    return *Ec;
+  const ClusterMapping &Mapping = Suite.m1();
 
-  for (const std::string &Name : appNames()) {
-    AppModel App = buildApp(Name);
+  Suite.header();
+  Suite.columns({{"app", 12},
+                 {"arrays", 10},
+                 {"refs-satisfied", 14},
+                 {" unoptimized arrays (reason)", 0}});
+  for (const std::string &Name : Suite.apps()) {
+    auto App = Suite.app(Name);
     LayoutTransformer Pass(Mapping, Config.layoutOptions());
-    LayoutPlan Plan = Pass.run(App.Program);
+    LayoutPlan Plan = Pass.run(App->Program);
 
     std::string Notes;
-    for (ArrayId Id = 0; Id < App.Program.numArrays(); ++Id) {
+    for (ArrayId Id = 0; Id < App->Program.numArrays(); ++Id) {
       const ArrayLayoutResult &R = Plan.PerArray[Id];
       if (!R.Accessed || R.Optimized)
         continue;
       if (!Notes.empty())
         Notes += "; ";
-      Notes += App.Program.array(Id).Name + " (" + R.Note + ")";
+      Notes += App->Program.array(Id).Name + " (" + R.Note + ")";
     }
-    std::printf("%-12s %9.0f%% %13.0f%%  %s\n", Name.c_str(),
-                100.0 * Plan.arraysOptimizedFraction(),
-                100.0 * Plan.refsSatisfiedFraction(), Notes.c_str());
+    Suite.row({Name,
+               formatString("%.0f%%", 100.0 * Plan.arraysOptimizedFraction()),
+               formatString("%.0f%%", 100.0 * Plan.refsSatisfiedFraction()),
+               " " + Notes});
   }
   return 0;
 }

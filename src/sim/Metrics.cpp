@@ -10,6 +10,24 @@ double offchip::savings(double Base, double Opt) {
   return (Base - Opt) / Base;
 }
 
+SavingsSummary offchip::averageSavings(const std::vector<SavingsSummary> &All) {
+  SavingsSummary Avg;
+  if (All.empty())
+    return Avg;
+  for (const SavingsSummary &S : All) {
+    Avg.OnChipNetLatency += S.OnChipNetLatency;
+    Avg.OffChipNetLatency += S.OffChipNetLatency;
+    Avg.MemLatency += S.MemLatency;
+    Avg.ExecutionTime += S.ExecutionTime;
+  }
+  double N = static_cast<double>(All.size());
+  Avg.OnChipNetLatency /= N;
+  Avg.OffChipNetLatency /= N;
+  Avg.MemLatency /= N;
+  Avg.ExecutionTime /= N;
+  return Avg;
+}
+
 SavingsSummary offchip::summarizeSavings(const SimResult &Base,
                                          const SimResult &Opt) {
   SavingsSummary S;

@@ -93,6 +93,9 @@ struct SavingsSummary {
 
 SavingsSummary summarizeSavings(const SimResult &Base, const SimResult &Opt);
 
+/// Arithmetic mean of \p All per metric; all-zero when \p All is empty.
+SavingsSummary averageSavings(const std::vector<SavingsSummary> &All);
+
 } // namespace offchip
 
 #endif // OFFCHIP_SIM_METRICS_H

@@ -1,0 +1,70 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+///
+/// \file
+/// A fixed-size thread pool for fanning independent jobs (simulation runs,
+/// sweeps) across hardware cores. Tasks are executed in FIFO submission
+/// order by whichever worker frees up first; results and exceptions travel
+/// back through the std::future returned by submit(). Destruction drains
+/// the queue: every task submitted before the destructor runs is completed
+/// before the workers join.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_SUPPORT_THREADPOOL_H
+#define OFFCHIP_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace offchip {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers; 0 means one per hardware thread.
+  explicit ThreadPool(unsigned NumThreads = 0);
+
+  /// Completes all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Fn and returns a future for its result. If \p Fn throws,
+  /// the exception is rethrown from the future's get().
+  template <typename Fn>
+  std::future<std::invoke_result_t<Fn>> submit(Fn &&F) {
+    using R = std::invoke_result_t<Fn>;
+    auto Task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(F));
+    std::future<R> Fut = Task->get_future();
+    enqueue([Task] { (*Task)(); });
+    return Fut;
+  }
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Number of concurrent hardware threads, never less than 1.
+  static unsigned hardwareThreads();
+
+private:
+  void enqueue(std::function<void()> Task);
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable Ready;
+  bool Stopping = false;
+};
+
+} // namespace offchip
+
+#endif // OFFCHIP_SUPPORT_THREADPOOL_H

@@ -1,0 +1,133 @@
+//===- tests/benchsuite_test.cpp - BenchSuite + determinism tests ---------===//
+///
+/// The load-bearing property of the redesigned harness: a bench's report is
+/// byte-identical whatever --jobs is, because rows are emitted serially in
+/// submission order no matter which worker finished first.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/BenchSuite.h"
+
+#include "gtest/gtest.h"
+
+using namespace offchip;
+
+namespace {
+
+/// A miniature fig14-style sweep on a 4x4 mesh with down-scaled apps,
+/// rendered into a capture string.
+std::string runSweep(unsigned Jobs) {
+  MachineConfig Config = MachineConfig::scaledDefault();
+  Config.MeshX = 4;
+  Config.MeshY = 4;
+  std::string Out;
+  BenchSuite Suite("determinism check", "output independent of --jobs",
+                   Config);
+  Suite.jobs(Jobs).sink(makeTableSink(&Out));
+
+  struct Row {
+    std::string Name;
+    SimFuture Base, Opt;
+  };
+  std::vector<Row> Rows;
+  for (const std::string &Name : {std::string("wupwise"),
+                                  std::string("swim"),
+                                  std::string("fma3d")}) {
+    auto App = Suite.app(Name, 0.5);
+    Rows.push_back({Name, Suite.run(App, RunVariant::Original),
+                    Suite.run(App, RunVariant::Optimized)});
+  }
+  Suite.header();
+  Suite.savingsColumns();
+  for (Row &R : Rows)
+    Suite.savingsRow(R.Name, summarizeSavings(R.Base.get(), R.Opt.get()));
+  Suite.savingsAverage();
+  Suite.finish();
+  return Out;
+}
+
+} // namespace
+
+TEST(BenchSuiteTest, OutputIsIndependentOfJobCount) {
+  std::string Serial = runSweep(1);
+  ASSERT_FALSE(Serial.empty());
+  EXPECT_NE(Serial.find("AVERAGE"), std::string::npos);
+  EXPECT_EQ(Serial, runSweep(8));
+}
+
+TEST(BenchSuiteTest, ParseArgsFiltersApps) {
+  BenchSuite Suite("t", "c", MachineConfig::scaledDefault());
+  const char *Argv[] = {"bench", "--apps", "wupwise,swim", "--jobs", "2"};
+  EXPECT_EQ(Suite.parseArgs(5, const_cast<char **>(Argv)), std::nullopt);
+  ASSERT_EQ(Suite.apps().size(), 2u);
+  EXPECT_EQ(Suite.apps()[0], "wupwise");
+  EXPECT_EQ(Suite.apps()[1], "swim");
+  EXPECT_EQ(Suite.jobsResolved(), 2u);
+}
+
+TEST(BenchSuiteTest, ParseArgsRejectsUnknownApp) {
+  BenchSuite Suite("t", "c", MachineConfig::scaledDefault());
+  const char *Argv[] = {"bench", "--apps", "nosuchapp"};
+  EXPECT_EQ(Suite.parseArgs(3, const_cast<char **>(Argv)),
+            std::optional<int>(2));
+}
+
+TEST(BenchSuiteTest, ParseArgsRejectsCsvPlusJson) {
+  BenchSuite Suite("t", "c", MachineConfig::scaledDefault());
+  const char *Argv[] = {"bench", "--csv", "--json"};
+  EXPECT_EQ(Suite.parseArgs(3, const_cast<char **>(Argv)),
+            std::optional<int>(2));
+}
+
+TEST(BenchSuiteTest, DefaultsCoverAllApps) {
+  BenchSuite Suite("t", "c", MachineConfig::scaledDefault());
+  EXPECT_EQ(Suite.apps(), appNames());
+}
+
+TEST(BenchSuiteTest, AppModelsAreCachedPerScale) {
+  BenchSuite Suite("t", "c", MachineConfig::scaledDefault());
+  EXPECT_EQ(Suite.app("swim"), Suite.app("swim"));
+  EXPECT_NE(Suite.app("swim"), Suite.app("swim", 0.5));
+}
+
+TEST(BenchSuiteTest, TableSinkAlignsColumns) {
+  std::string Out;
+  auto Sink = makeTableSink(&Out);
+  Sink->begin("id", "claim", "machine");
+  Sink->columns({{"app", 12}, {"exec", 10}});
+  Sink->row({"swim", "12.3%"});
+  Sink->end();
+  EXPECT_NE(Out.find("=== id ===\n"), std::string::npos);
+  EXPECT_NE(Out.find("machine:    machine\n"), std::string::npos);
+  // First column left-aligned to 12, second right-aligned to 10.
+  EXPECT_NE(Out.find("app                exec\n"), std::string::npos);
+  EXPECT_NE(Out.find("swim              12.3%\n"), std::string::npos);
+}
+
+TEST(BenchSuiteTest, CsvSinkQuotesAndComments) {
+  std::string Out;
+  auto Sink = makeCsvSink(&Out);
+  Sink->begin("id", "claim", "machine");
+  Sink->columns({{"app", 12}, {"note", 10}});
+  Sink->row({"swim", "has,comma"});
+  Sink->note("footer");
+  Sink->end();
+  EXPECT_NE(Out.find("# id\n"), std::string::npos);
+  EXPECT_NE(Out.find("app,note\n"), std::string::npos);
+  EXPECT_NE(Out.find("swim,\"has,comma\"\n"), std::string::npos);
+  EXPECT_NE(Out.find("# footer\n"), std::string::npos);
+}
+
+TEST(BenchSuiteTest, JsonSinkEmitsOnEnd) {
+  std::string Out;
+  auto Sink = makeJsonSink(&Out);
+  Sink->begin("id", "say \"hi\"", "machine");
+  Sink->columns({{"app", 12}, {"exec", 10}});
+  Sink->row({"swim", "12.3%"});
+  EXPECT_TRUE(Out.empty()); // buffered until end()
+  Sink->end();
+  EXPECT_NE(Out.find("\"id\": \"id\""), std::string::npos);
+  EXPECT_NE(Out.find("\"claim\": \"say \\\"hi\\\"\""), std::string::npos);
+  EXPECT_NE(Out.find("{\"app\": \"swim\", \"exec\": \"12.3%\"}"),
+            std::string::npos);
+}

@@ -1,0 +1,87 @@
+//===- tests/options_test.cpp - OptionsParser unit tests ------------------===//
+
+#include "support/Options.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+
+using namespace offchip;
+
+namespace {
+
+bool parse(OptionsParser &P, std::vector<const char *> Args,
+           std::string *Err = nullptr, bool *WantedHelp = nullptr) {
+  Args.insert(Args.begin(), "tool");
+  return P.parse(static_cast<int>(Args.size()),
+                 const_cast<char **>(Args.data()), Err, WantedHelp);
+}
+
+} // namespace
+
+TEST(OptionsTest, FlagsAndValues) {
+  OptionsParser P("tool", "overview");
+  bool Flag = false;
+  unsigned N = 0;
+  std::string S;
+  P.flag("--flag", &Flag, "a switch");
+  P.value("--n", &N, "a number");
+  P.value("--s", &S, "a string");
+  EXPECT_TRUE(parse(P, {"--flag", "--n", "12", "--s", "hello", "pos.txt"}));
+  EXPECT_TRUE(Flag);
+  EXPECT_EQ(N, 12u);
+  EXPECT_EQ(S, "hello");
+  ASSERT_EQ(P.positional().size(), 1u);
+  EXPECT_EQ(P.positional()[0], "pos.txt");
+}
+
+TEST(OptionsTest, RejectsUnknownOption) {
+  OptionsParser P("tool", "overview");
+  std::string Err;
+  EXPECT_FALSE(parse(P, {"--nope"}, &Err));
+  EXPECT_NE(Err.find("--nope"), std::string::npos);
+}
+
+TEST(OptionsTest, RejectsMissingValue) {
+  OptionsParser P("tool", "overview");
+  unsigned N = 0;
+  P.value("--n", &N, "a number");
+  std::string Err;
+  EXPECT_FALSE(parse(P, {"--n"}, &Err));
+  EXPECT_NE(Err.find("requires a value"), std::string::npos);
+}
+
+TEST(OptionsTest, RejectsNonNumericValue) {
+  OptionsParser P("tool", "overview");
+  unsigned N = 0;
+  P.value("--n", &N, "a number");
+  std::string Err;
+  EXPECT_FALSE(parse(P, {"--n", "12abc"}, &Err));
+  EXPECT_NE(Err.find("invalid value"), std::string::npos);
+}
+
+TEST(OptionsTest, CustomParserCanReject) {
+  OptionsParser P("tool", "overview");
+  unsigned X = 0, Y = 0;
+  P.custom("--mesh", "<X>x<Y>",
+           [&](const std::string &V) {
+             return std::sscanf(V.c_str(), "%ux%u", &X, &Y) == 2;
+           },
+           "mesh size");
+  EXPECT_TRUE(parse(P, {"--mesh", "8x4"}));
+  EXPECT_EQ(X, 8u);
+  EXPECT_EQ(Y, 4u);
+  EXPECT_FALSE(parse(P, {"--mesh", "garbage"}));
+}
+
+TEST(OptionsTest, HelpIsBuiltIn) {
+  OptionsParser P("tool", "overview");
+  bool Flag = false;
+  P.flag("--flag", &Flag, "a switch");
+  std::string Err;
+  bool WantedHelp = false;
+  EXPECT_FALSE(parse(P, {"--help"}, &Err, &WantedHelp));
+  EXPECT_TRUE(WantedHelp);
+  EXPECT_NE(Err.find("usage: tool"), std::string::npos);
+  EXPECT_NE(Err.find("--flag"), std::string::npos);
+}

@@ -1,0 +1,67 @@
+//===- tests/threadpool_test.cpp - ThreadPool unit tests ------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <stdexcept>
+
+using namespace offchip;
+
+TEST(ThreadPoolTest, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, ZeroMeansOnePerHardwareThread) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.threadCount(), ThreadPool::hardwareThreads());
+}
+
+TEST(ThreadPoolTest, ResultsTravelThroughFutures) {
+  ThreadPool Pool(4);
+  std::vector<std::future<int>> Futures;
+  for (int I = 0; I < 32; ++I)
+    Futures.push_back(Pool.submit([I] { return I * I; }));
+  for (int I = 0; I < 32; ++I)
+    EXPECT_EQ(Futures[I].get(), I * I);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsFifo) {
+  ThreadPool Pool(1);
+  std::vector<int> Order;
+  std::vector<std::future<void>> Futures;
+  for (int I = 0; I < 16; ++I)
+    Futures.push_back(Pool.submit([I, &Order] { Order.push_back(I); }));
+  for (auto &F : Futures)
+    F.get();
+  ASSERT_EQ(Order.size(), 16u);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+TEST(ThreadPoolTest, ExceptionsRethrowFromGet) {
+  ThreadPool Pool(2);
+  std::future<int> Ok = Pool.submit([] { return 7; });
+  std::future<int> Bad =
+      Pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(Ok.get(), 7);
+  EXPECT_THROW(Bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> Completed{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I < 64; ++I)
+      Pool.submit([&Completed] { ++Completed; });
+    // No join here: the destructor must finish every queued task.
+  }
+  EXPECT_EQ(Completed.load(), 64);
+}
+
+TEST(ThreadPoolTest, MoveOnlyResultsWork) {
+  ThreadPool Pool(2);
+  auto F = Pool.submit([] { return std::make_unique<int>(42); });
+  EXPECT_EQ(*F.get(), 42);
+}

@@ -11,22 +11,13 @@
 ///   offchip-opt [options] <program.txt>
 ///   offchip-opt --demo                     # run the built-in Figure 9 demo
 ///
-/// Options:
-///   --mesh <X>x<Y>        mesh size (default 8x8)
-///   --mcs <N>             memory controllers (default 4)
-///   --mcs-per-cluster <K> MCs per cluster, mapping M2 style (default 1)
-///   --shared-l2           SNUCA shared L2 instead of private slices
-///   --page                page interleaving (default cache-line)
-///   --emit-code           print the transformed program source
-///   --simulate            run original vs optimized on the scaled machine
-///   --csv                 print simulation results as CSV
-///
 //===----------------------------------------------------------------------===//
 
 #include "affine/ProgramText.h"
 #include "core/CodeGen.h"
-#include "harness/Experiment.h"
+#include "harness/Runner.h"
 #include "sim/Report.h"
+#include "support/Options.h"
 
 #include <cstdio>
 #include <cstring>
@@ -49,74 +40,72 @@ nest stencil bounds 0:256 1:255 parallel 0 repeat 2
 end
 )";
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: offchip-opt [--mesh <X>x<Y>] [--mcs <N>] "
-               "[--mcs-per-cluster <K>] [--shared-l2] [--page] "
-               "[--emit-code] [--simulate] [--csv] <program.txt>\n"
-               "       offchip-opt --demo [options]\n");
-  return 2;
-}
-
 } // namespace
 
 int main(int Argc, char **Argv) {
   MachineConfig Config = MachineConfig::scaledDefault();
   unsigned MCsPerCluster = 1;
+  unsigned Jobs = 1;
   bool EmitCode = false, Simulate = false, Csv = false, Demo = false;
-  const char *Path = nullptr;
 
-  for (int I = 1; I < Argc; ++I) {
-    const char *Arg = Argv[I];
-    auto NextValue = [&]() -> const char * {
-      return I + 1 < Argc ? Argv[++I] : nullptr;
-    };
-    if (!std::strcmp(Arg, "--mesh")) {
-      const char *V = NextValue();
-      unsigned X = 0, Y = 0;
-      if (!V || std::sscanf(V, "%ux%u", &X, &Y) != 2 || X == 0 || Y == 0)
-        return usage();
-      Config.MeshX = X;
-      Config.MeshY = Y;
-    } else if (!std::strcmp(Arg, "--mcs")) {
-      const char *V = NextValue();
-      if (!V)
-        return usage();
-      Config.NumMCs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
-    } else if (!std::strcmp(Arg, "--mcs-per-cluster")) {
-      const char *V = NextValue();
-      if (!V)
-        return usage();
-      MCsPerCluster = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
-    } else if (!std::strcmp(Arg, "--shared-l2")) {
-      Config.SharedL2 = true;
-    } else if (!std::strcmp(Arg, "--page")) {
-      Config.Granularity = InterleaveGranularity::Page;
-    } else if (!std::strcmp(Arg, "--emit-code")) {
-      EmitCode = true;
-    } else if (!std::strcmp(Arg, "--simulate")) {
-      Simulate = true;
-    } else if (!std::strcmp(Arg, "--csv")) {
-      Csv = true;
-    } else if (!std::strcmp(Arg, "--demo")) {
-      Demo = true;
-    } else if (Arg[0] == '-') {
-      std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
-      return usage();
-    } else {
-      Path = Arg;
+  OptionsParser Options("offchip-opt",
+                        "layout pass driver for textual affine programs");
+  Options.positionalHelp("<program.txt>");
+  Options.custom("--mesh", "<X>x<Y>",
+                 [&](const std::string &V) {
+                   unsigned X = 0, Y = 0;
+                   if (std::sscanf(V.c_str(), "%ux%u", &X, &Y) != 2 ||
+                       X == 0 || Y == 0)
+                     return false;
+                   Config.MeshX = X;
+                   Config.MeshY = Y;
+                   return true;
+                 },
+                 "mesh size (default 8x8)");
+  Options.value("--mcs", &Config.NumMCs, "memory controllers (default 4)");
+  Options.value("--mcs-per-cluster", &MCsPerCluster,
+                "MCs per cluster, mapping M2 style (default 1)");
+  Options.flag("--shared-l2", &Config.SharedL2,
+               "SNUCA shared L2 instead of private slices");
+  bool Page = false;
+  Options.flag("--page", &Page, "page interleaving (default cache-line)");
+  Options.flag("--emit-code", &EmitCode,
+               "print the transformed program source");
+  Options.flag("--simulate", &Simulate,
+               "run original vs optimized on the scaled machine");
+  Options.value("--jobs", &Jobs,
+                "worker threads for --simulate (0 = all cores)");
+  Options.flag("--csv", &Csv, "print simulation results as CSV");
+  Options.flag("--demo", &Demo, "run the built-in Figure 9 demo");
+
+  std::string Err;
+  bool WantedHelp = false;
+  if (!Options.parse(Argc, Argv, &Err, &WantedHelp)) {
+    if (WantedHelp) {
+      std::fputs(Err.c_str(), stdout);
+      return 0;
     }
+    std::fprintf(stderr, "error: %s\n%s", Err.c_str(),
+                 Options.helpText().c_str());
+    return 2;
   }
-  if (!Demo && !Path)
-    return usage();
+  if (Page)
+    Config.Granularity = InterleaveGranularity::Page;
+  if (Options.positional().size() > 1 ||
+      (!Demo && Options.positional().empty())) {
+    std::fprintf(stderr, "error: expected one <program.txt>\n%s",
+                 Options.helpText().c_str());
+    return 2;
+  }
 
   std::string Text;
   if (Demo) {
     Text = Figure9Demo;
   } else {
+    const std::string &Path = Options.positional().front();
     std::ifstream In(Path);
     if (!In) {
-      std::fprintf(stderr, "error: cannot open '%s'\n", Path);
+      std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
       return 1;
     }
     std::stringstream SS;
@@ -124,7 +113,6 @@ int main(int Argc, char **Argv) {
     Text = SS.str();
   }
 
-  std::string Err;
   std::optional<AffineProgram> Program = parseProgramText(Text, &Err);
   if (!Program) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
@@ -163,12 +151,23 @@ int main(int Argc, char **Argv) {
                 emitProgram(*Program, Plan).c_str());
 
   if (Simulate) {
-    LayoutPlan Original = LayoutTransformer::originalPlan(*Program);
+    // The original and optimized runs are independent; fan them across the
+    // runner and join before printing so output stays identical to serial.
     MachineConfig OptConfig = Config;
     if (Config.Granularity == InterleaveGranularity::Page)
       OptConfig.PagePolicy = PageAllocPolicy::CompilerGuided;
-    SimResult Base = runSingle(*Program, Original, Config, Mapping);
-    SimResult Opt = runSingle(*Program, Plan, OptConfig, Mapping);
+    ExperimentRunner Runner(Jobs);
+    SimFuture BaseF = Runner.submit(
+        [&Program, &Config, &Mapping]() -> SimResult {
+          LayoutPlan Original = LayoutTransformer::originalPlan(*Program);
+          return runSingle(*Program, Original, Config, Mapping);
+        });
+    SimFuture OptF = Runner.submit(
+        [&Program, &Plan, &OptConfig, &Mapping]() -> SimResult {
+          return runSingle(*Program, Plan, OptConfig, Mapping);
+        });
+    const SimResult &Base = BaseF.get();
+    const SimResult &Opt = OptF.get();
     if (Csv) {
       std::printf("\n%s",
                   renderCsv({{"original", &Base}, {"optimized", &Opt}})
