@@ -7,10 +7,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "cache/Cache.h"
+#include "cache/Directory.h"
 #include "core/LayoutTransformer.h"
 #include "dram/MemoryController.h"
 #include "harness/Experiment.h"
 #include "noc/Network.h"
+#include "sim/AddressMap.h"
 #include "workloads/AppModel.h"
 
 #include <benchmark/benchmark.h>
@@ -92,6 +95,57 @@ void BM_NetworkSend(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_NetworkSend);
+
+void BM_CacheAccess(benchmark::State &State) {
+  MachineConfig C = benchConfig();
+  Cache L2(C.L2SizeBytes, C.L2LineBytes, C.L2Ways);
+  std::uint64_t A = 0;
+  for (auto _ : State) {
+    std::uint64_t Line = L2.lineOf(A);
+    bool Hit = L2.access(Line, false);
+    if (!Hit)
+      L2.insert(Line, false);
+    A += C.L2LineBytes * 3; // revisits sets; mix of hits and misses
+    benchmark::DoNotOptimize(Hit);
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_DirectoryFindSharer(benchmark::State &State) {
+  Directory Dir(64);
+  const std::uint64_t NumLines = 1 << 15;
+  for (std::uint64_t L = 0; L < NumLines; ++L)
+    Dir.addSharer(L * 7919, static_cast<unsigned>(L % 64));
+  std::uint64_t L = 0;
+  for (auto _ : State) {
+    // Alternate present and absent lines: both probe paths matter.
+    benchmark::DoNotOptimize(Dir.findSharer(L * 7919 + (L & 1)));
+    L = (L + 1) % NumLines;
+  }
+}
+BENCHMARK(BM_DirectoryFindSharer);
+
+void BM_AddressMapVaOf(benchmark::State &State) {
+  MachineConfig C = benchConfig();
+  AppModel App = buildApp("swim", 0.25);
+  LayoutPlan Plan = LayoutTransformer::originalPlan(App.Program);
+  VmConfig VC;
+  VC.PageBytes = C.PageBytes;
+  VC.NumMCs = C.NumMCs;
+  VC.BytesPerMC = C.BytesPerMC;
+  VirtualMemory VM(VC, C.PagePolicy);
+  AddressMap Map(App.Program, Plan, VM, C);
+  const ArrayDecl &Decl = App.Program.array(0);
+  IntVector V(Decl.rank(), 0);
+  std::int64_t I = 0;
+  for (auto _ : State) {
+    for (unsigned D = 0; D < Decl.rank(); ++D)
+      V[D] = (I * (7 + D)) % Decl.Dims[D];
+    ++I;
+    benchmark::DoNotOptimize(Map.vaOf(0, V));
+  }
+}
+BENCHMARK(BM_AddressMapVaOf);
 
 void BM_DramAccess(benchmark::State &State) {
   MemoryController MC(0, DramConfig());

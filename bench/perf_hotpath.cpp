@@ -1,0 +1,193 @@
+//===- bench/perf_hotpath.cpp - simulator wall-clock benchmark ------------===//
+///
+/// The BENCH_perf trajectory: wall-clock throughput of fixed (app, config)
+/// simulations covering the simulator's hot paths — the page-interleaved
+/// fig03 runs (stream generation + private-L2 + directory + DRAM), the
+/// transformed-layout fig14 run (general-path address computation), and the
+/// fig25 co-run (cache-line interleaving + multiprogrammed contention).
+///
+/// Each workload is timed best-of --repeats with phase timers off (honest
+/// numbers), then run once more with MachineConfig::CollectPhaseTimes to
+/// attribute the time to stream generation, network, and DRAM. The report
+/// goes through the JSON sink; commit it as BENCH_perf.json. Compare
+/// against a baseline by building this bench at the baseline commit and
+/// diffing the `seconds` column (see EXPERIMENTS.md, "Performance
+/// methodology").
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/BenchSuite.h"
+#include "harness/Experiment.h"
+#include "support/Format.h"
+#include "workloads/AppModel.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace offchip;
+
+namespace {
+
+struct Workload {
+  std::string Name;
+  /// Runs the simulation once; \p Timed enables the phase timers.
+  std::function<SimResult(bool)> Run;
+};
+
+struct Measurement {
+  double BestSeconds = 1e100;
+  SimResult Result;     // from the last untimed run
+  SimResult TimedResult; // from the phase-timer run
+};
+
+Measurement measure(const Workload &W, unsigned Repeats) {
+  Measurement M;
+  for (unsigned I = 0; I < Repeats; ++I) {
+    auto T0 = std::chrono::steady_clock::now();
+    M.Result = W.Run(false);
+    double S = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             T0)
+                   .count();
+    M.BestSeconds = std::min(M.BestSeconds, S);
+  }
+  M.TimedResult = W.Run(true);
+  return M;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Repeats = 3;
+  double Scale = 1.0;
+  std::string OutPath;
+  OptionsParser Parser(
+      "bench_perf_hotpath",
+      "Wall-clock throughput of fixed simulations (the BENCH_perf numbers)");
+  Parser.value("--repeats", &Repeats,
+               "untimed repetitions per workload, best-of (default 3)");
+  Parser.value("--out", &OutPath,
+               "write the JSON report to this file instead of stdout");
+  Parser.custom(
+      "--scale", "<S>",
+      [&](const std::string &V) {
+        char *End = nullptr;
+        Scale = std::strtod(V.c_str(), &End);
+        return End != nullptr && *End == '\0' && Scale > 0.0;
+      },
+      "app size scale factor (default 1.0; the ctest smoke uses 0.25)");
+  std::string Err;
+  bool WantedHelp = false;
+  if (!Parser.parse(Argc, Argv, &Err, &WantedHelp)) {
+    std::fprintf(WantedHelp ? stdout : stderr, "%s\n", Err.c_str());
+    return WantedHelp ? 0 : 2;
+  }
+  if (Repeats == 0)
+    Repeats = 1;
+
+  MachineConfig PageCfg = MachineConfig::scaledDefault();
+  PageCfg.Granularity = InterleaveGranularity::Page;
+  MachineConfig LineCfg = MachineConfig::scaledDefault();
+  ClusterMapping MPage = makeM1Mapping(PageCfg);
+  ClusterMapping MLine = makeM1Mapping(LineCfg);
+
+  AppModel Wupwise = buildApp("wupwise", Scale);
+  AppModel Swim = buildApp("swim", Scale);
+  AppModel Mgrid = buildApp("mgrid", Scale);
+
+  // The fig25 swim+mgrid co-run: both apps share every node, cache-line
+  // interleaving (the multiprogrammed contention case).
+  auto CoRun = [&](bool Timed) {
+    MachineConfig C = LineCfg;
+    C.CollectPhaseTimes = Timed;
+    std::vector<unsigned> AllNodes;
+    for (unsigned T = 0; T < C.numNodes(); ++T)
+      AllNodes.push_back(MLine.threadToNode(T));
+    LayoutPlan P1 = LayoutTransformer::originalPlan(Swim.Program);
+    LayoutPlan P2 = LayoutTransformer::originalPlan(Mgrid.Program);
+    AppInstance A1, A2;
+    A1.Program = &Swim.Program;
+    A1.Plan = &P1;
+    A1.Nodes = AllNodes;
+    A1.ComputeGapCycles = Swim.ComputeGapCycles;
+    A2.Program = &Mgrid.Program;
+    A2.Plan = &P2;
+    A2.Nodes = AllNodes;
+    A2.ComputeGapCycles = Mgrid.ComputeGapCycles;
+    return runSimulation({A1, A2}, C, MLine, nullptr);
+  };
+
+  auto Variant = [&](const AppModel &App, RunVariant V) {
+    return [&App, &PageCfg, &MPage, V](bool Timed) {
+      MachineConfig C = PageCfg;
+      C.CollectPhaseTimes = Timed;
+      return runVariant(App, C, MPage, V);
+    };
+  };
+
+  std::vector<Workload> Workloads = {
+      {"fig03-wupwise", Variant(Wupwise, RunVariant::Original)},
+      {"fig03-swim", Variant(Swim, RunVariant::Original)},
+      {"fig14-swim-opt", Variant(Swim, RunVariant::Optimized)},
+      {"fig25-swim+mgrid", CoRun},
+  };
+
+  std::string Capture;
+  std::unique_ptr<OutputSink> Sink = makeJsonSink(&Capture);
+  Sink->begin("perf_hotpath",
+              "simulator wall-clock throughput on fixed workloads "
+              "(higher Macc/s is better; timings are host wall-clock)",
+              PageCfg.summary());
+  Sink->columns({{"workload", 18},
+                 {"seconds", 9},
+                 {"macc_per_s", 11},
+                 {"accesses", 10},
+                 {"exec_cycles", 12},
+                 {"stream_s", 9},
+                 {"network_s", 10},
+                 {"dram_s", 8},
+                 {"timed_total_s", 13}});
+
+  for (const Workload &W : Workloads) {
+    std::fprintf(stderr, "running %s (%u repeats)...\n", W.Name.c_str(),
+                 Repeats);
+    Measurement M = measure(W, Repeats);
+    double Macc = static_cast<double>(M.Result.TotalAccesses) /
+                  M.BestSeconds / 1e6;
+    const PhaseTimes &P = M.TimedResult.Phases;
+    Sink->row({W.Name, formatString("%.3f", M.BestSeconds),
+               formatString("%.2f", Macc),
+               formatString("%llu",
+                            (unsigned long long)M.Result.TotalAccesses),
+               formatString("%llu",
+                            (unsigned long long)M.Result.ExecutionCycles),
+               formatString("%.3f", P.StreamGenSeconds),
+               formatString("%.3f", P.NetworkSeconds),
+               formatString("%.3f", P.DramSeconds),
+               formatString("%.3f", P.TotalSeconds)});
+    std::fprintf(stderr, "  %.3f s  %.2f Macc/s\n", M.BestSeconds, Macc);
+  }
+  Sink->note(formatString(
+      "scale=%.2f repeats=%u; phase columns come from a separate run with "
+      "CollectPhaseTimes enabled (its clock reads inflate timed_total_s "
+      "above seconds)",
+      Scale, Repeats));
+  Sink->end();
+
+  if (OutPath.empty()) {
+    std::fputs(Capture.c_str(), stdout);
+  } else {
+    std::ofstream Out(OutPath, std::ios::trunc);
+    if (!Out) {
+      std::fprintf(stderr, "cannot open %s\n", OutPath.c_str());
+      return 1;
+    }
+    Out << Capture;
+    std::fprintf(stderr, "wrote %s\n", OutPath.c_str());
+  }
+  return 0;
+}

@@ -15,6 +15,8 @@ Cache::Cache(std::uint64_t SizeBytes, unsigned LineBytes, unsigned Ways)
   NumSets = static_cast<unsigned>(SizeBytes / LineBytes / Ways);
   if (NumSets == 0)
     reportFatalError("cache must have at least one set");
+  LineDiv = Pow2Divider(LineBytes);
+  SetDiv = Pow2Divider(NumSets);
   Sets.resize(static_cast<std::size_t>(NumSets) * Ways);
 }
 

@@ -10,6 +10,8 @@
 #ifndef OFFCHIP_CACHE_CACHE_H
 #define OFFCHIP_CACHE_CACHE_H
 
+#include "support/Pow2.h"
+
 #include <cstdint>
 #include <vector>
 
@@ -24,7 +26,7 @@ public:
   unsigned lineBytes() const { return LineBytes; }
 
   /// Line address (address / line size) of \p Addr.
-  std::uint64_t lineOf(std::uint64_t Addr) const { return Addr / LineBytes; }
+  std::uint64_t lineOf(std::uint64_t Addr) const { return LineDiv.div(Addr); }
 
   /// Looks up \p LineAddr; on a hit updates LRU and the dirty bit.
   /// \returns true on hit.
@@ -71,9 +73,9 @@ private:
   /// which lives in exactly the bits a modulo index uses, quartering the
   /// effective capacity for localized threads.
   unsigned setOf(std::uint64_t LineAddr) const {
-    std::uint64_t H = LineAddr ^ (LineAddr / NumSets) ^
-                      (LineAddr / NumSets / NumSets);
-    return static_cast<unsigned>(H % NumSets);
+    std::uint64_t Div1 = SetDiv.div(LineAddr);
+    std::uint64_t H = LineAddr ^ Div1 ^ SetDiv.div(Div1);
+    return static_cast<unsigned>(SetDiv.mod(H));
   }
   /// With a hashed index the stored tag is the full line address.
   std::uint64_t tagOf(std::uint64_t LineAddr) const { return LineAddr; }
@@ -81,6 +83,10 @@ private:
   unsigned LineBytes;
   unsigned Ways;
   unsigned NumSets;
+  /// Shift/mask decode of the geometry constants (generic div/mod when the
+  /// configured sizes are not powers of two).
+  Pow2Divider LineDiv;
+  Pow2Divider SetDiv;
   std::vector<Way> Sets; // NumSets * Ways entries
   std::uint64_t UseClock = 0;
   std::uint64_t Hits = 0;

@@ -2,31 +2,30 @@
 
 #include "cache/Directory.h"
 
+#include <bit>
+
 using namespace offchip;
 
 int Directory::findSharer(std::uint64_t LineAddr) const {
-  auto It = Lines.find(LineAddr);
-  if (It == Lines.end() || It->second == 0)
+  const std::uint64_t *Mask = Lines.find(LineAddr);
+  if (!Mask || *Mask == 0)
     return -1;
   // Any sharer will do; pick the lowest-numbered one.
-  std::uint64_t Mask = It->second;
-  for (unsigned N = 0; N < NumNodes; ++N)
-    if (Mask & (1ull << N))
-      return static_cast<int>(N);
-  return -1;
+  return std::countr_zero(*Mask);
 }
 
 void Directory::addSharer(std::uint64_t LineAddr, unsigned Node) {
   assert(Node < NumNodes && "sharer out of range");
-  Lines[LineAddr] |= 1ull << Node;
+  Lines.refOrInsert(LineAddr) |= 1ull << Node;
 }
 
 void Directory::removeSharer(std::uint64_t LineAddr, unsigned Node) {
   assert(Node < NumNodes && "sharer out of range");
-  auto It = Lines.find(LineAddr);
-  if (It == Lines.end())
+  // refOrInsert would insert on a miss; look up in place instead.
+  std::uint64_t *Mask = Lines.find(LineAddr);
+  if (!Mask)
     return;
-  It->second &= ~(1ull << Node);
-  if (It->second == 0)
-    Lines.erase(It);
+  *Mask &= ~(1ull << Node);
+  if (*Mask == 0)
+    Lines.erase(LineAddr);
 }

@@ -11,17 +11,24 @@
 #ifndef OFFCHIP_CACHE_DIRECTORY_H
 #define OFFCHIP_CACHE_DIRECTORY_H
 
+#include "support/FlatMap.h"
+
 #include <cassert>
 #include <cstdint>
-#include <unordered_map>
 
 namespace offchip {
 
-/// Sharer tracking for up to 64 nodes per line.
+/// Sharer tracking for up to 64 nodes per line. Backed by an open-addressing
+/// flat map (support/FlatMap.h): the directory is consulted on every L2
+/// miss, and the node-per-entry std::unordered_map it replaced dominated
+/// that path's cache misses.
 class Directory {
 public:
   explicit Directory(unsigned NumNodes) : NumNodes(NumNodes) {
     assert(NumNodes <= 64 && "directory supports up to 64 nodes");
+    // A run of the scaled machine tracks tens of thousands of lines; start
+    // past the cheap doublings.
+    Lines.reserve(1 << 14);
   }
 
   /// \returns a node currently holding \p LineAddr, or -1 if none.
@@ -37,7 +44,7 @@ public:
 
 private:
   unsigned NumNodes;
-  std::unordered_map<std::uint64_t, std::uint64_t> Lines;
+  FlatMap64 Lines;
 };
 
 } // namespace offchip

@@ -3,12 +3,36 @@
 #include "dram/MemoryController.h"
 
 #include <algorithm>
+#include <chrono>
 
 using namespace offchip;
 
+namespace {
+
+/// RAII accumulator for the opt-in per-call wall-clock timing.
+class ScopedTimer {
+public:
+  ScopedTimer(bool Enabled, double &Accum) : Accum(Enabled ? &Accum : nullptr) {
+    if (this->Accum)
+      T0 = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (Accum)
+      *Accum += std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - T0)
+                    .count();
+  }
+
+private:
+  double *Accum;
+  std::chrono::steady_clock::time_point T0;
+};
+
+} // namespace
+
 MemoryController::MemoryController(unsigned Id, DramConfig Config)
-    : Id(Id), Config(Config), Banks(Config.Banks),
-      IdealBanks(Config.Banks) {}
+    : Id(Id), Config(Config), RowDiv(Config.RowBufferBytes),
+      BankDiv(Config.Banks), Banks(Config.Banks), IdealBanks(Config.Banks) {}
 
 bool MemoryController::isRowHit(Bank &B, std::int64_t Row) const {
   for (std::size_t I = 0; I < B.RecentRows.size(); ++I) {
@@ -27,6 +51,7 @@ bool MemoryController::isRowHit(Bank &B, std::int64_t Row) const {
 
 DramAccessResult MemoryController::access(std::uint64_t PhysAddr,
                                           std::uint64_t Time) {
+  ScopedTimer Timer(TimeCalls, TimedSeconds);
   Bank &B = Banks[bankOf(PhysAddr)];
   std::int64_t Row = rowOf(PhysAddr);
 
@@ -54,6 +79,7 @@ DramAccessResult MemoryController::access(std::uint64_t PhysAddr,
 
 DramAccessResult MemoryController::accessIdeal(std::uint64_t PhysAddr,
                                                std::uint64_t Time) {
+  ScopedTimer Timer(TimeCalls, TimedSeconds);
   Bank &B = IdealBanks[bankOf(PhysAddr)];
   bool Hit = isRowHit(B, rowOf(PhysAddr));
   DramAccessResult R;
@@ -72,6 +98,7 @@ DramAccessResult MemoryController::accessIdeal(std::uint64_t PhysAddr,
 void MemoryController::writeback(std::uint64_t PhysAddr, std::uint64_t Time) {
   // A writeback occupies the bank like a read but nothing waits for it, so
   // it contributes to contention without queue-latency accounting.
+  ScopedTimer Timer(TimeCalls, TimedSeconds);
   Bank &B = Banks[bankOf(PhysAddr)];
   std::int64_t Row = rowOf(PhysAddr);
   std::uint64_t Start = std::max(Time, B.BusyUntil);
@@ -106,4 +133,5 @@ void MemoryController::reset() {
   RowHits = 0;
   TotalQueueCycles = 0;
   TotalServiceCycles = 0;
+  TimedSeconds = 0.0;
 }

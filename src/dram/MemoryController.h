@@ -18,6 +18,7 @@
 #ifndef OFFCHIP_DRAM_MEMORYCONTROLLER_H
 #define OFFCHIP_DRAM_MEMORYCONTROLLER_H
 
+#include "support/Pow2.h"
 #include "support/Stats.h"
 
 #include <cstdint>
@@ -87,6 +88,15 @@ public:
   std::uint64_t totalQueueCycles() const { return TotalQueueCycles; }
   std::uint64_t totalServiceCycles() const { return TotalServiceCycles; }
 
+  /// Starts accumulating wall-clock time spent in access()/accessIdeal()/
+  /// writeback() (SimResult::PhaseTimes). Off by default: measuring reads
+  /// the clock twice per request.
+  void enableCallTiming() { TimeCalls = true; }
+
+  /// Wall-clock seconds spent servicing requests; zero unless
+  /// enableCallTiming() was called.
+  double timedSeconds() const { return TimedSeconds; }
+
   /// Mean number of requests waiting in the bank queues over [0, Now), via
   /// Little's law (total wait cycles / elapsed cycles). Figure 18's
   /// bank-queue occupancy metric.
@@ -115,18 +125,21 @@ private:
   /// id); real controllers fold higher address bits into the bank bits for
   /// exactly this reason.
   unsigned bankOf(std::uint64_t PhysAddr) const {
-    std::uint64_t Row = PhysAddr / Config.RowBufferBytes;
-    std::uint64_t H = Row ^ (Row / Config.Banks) ^
-                      (Row / Config.Banks / Config.Banks);
-    return static_cast<unsigned>(H % Config.Banks);
+    std::uint64_t Row = RowDiv.div(PhysAddr);
+    std::uint64_t Div1 = BankDiv.div(Row);
+    std::uint64_t H = Row ^ Div1 ^ BankDiv.div(Div1);
+    return static_cast<unsigned>(BankDiv.mod(H));
   }
   std::int64_t rowOf(std::uint64_t PhysAddr) const {
-    return static_cast<std::int64_t>((PhysAddr / Config.RowBufferBytes) /
-                                     Config.Banks);
+    return static_cast<std::int64_t>(BankDiv.div(RowDiv.div(PhysAddr)));
   }
 
   unsigned Id;
   DramConfig Config;
+  /// Shift/mask decode of RowBufferBytes / Banks (generic fallback for
+  /// non-power-of-two values).
+  Pow2Divider RowDiv;
+  Pow2Divider BankDiv;
   std::vector<Bank> Banks;
   /// Row-state shadow used by accessIdeal().
   std::vector<Bank> IdealBanks;
@@ -134,6 +147,8 @@ private:
   std::uint64_t RowHits = 0;
   std::uint64_t TotalQueueCycles = 0;
   std::uint64_t TotalServiceCycles = 0;
+  bool TimeCalls = false;
+  double TimedSeconds = 0.0;
 };
 
 } // namespace offchip

@@ -3,9 +3,6 @@
 #include "harness/Experiment.h"
 
 #include "support/Error.h"
-#include "support/Format.h"
-
-#include <cstdio>
 
 using namespace offchip;
 
@@ -90,43 +87,3 @@ SimResult offchip::runVariant(const AppModel &App,
   LayoutPlan Plan = planForVariant(App, C, Mapping, Variant);
   return runSingle(App.Program, Plan, C, Mapping, App.ComputeGapCycles);
 }
-
-// Deprecated forwarding shims: the same rendering now lives behind the
-// BenchSuite output-sink interface. Suppress the self-referential
-// deprecation warnings while implementing them.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-void offchip::printBenchHeader(const std::string &ExperimentId,
-                               const std::string &Claim,
-                               const MachineConfig &Config) {
-  std::printf("=== %s ===\n", ExperimentId.c_str());
-  std::printf("reproduces: %s\n", Claim.c_str());
-  std::printf("machine:    %s\n\n", Config.summary().c_str());
-}
-
-void offchip::printSavingsRow(const std::string &Name,
-                              const SavingsSummary &S) {
-  std::printf("%-12s %12s %13s %11s %10s\n", Name.c_str(),
-              formatPercent(S.OnChipNetLatency).c_str(),
-              formatPercent(S.OffChipNetLatency).c_str(),
-              formatPercent(S.MemLatency).c_str(),
-              formatPercent(S.ExecutionTime).c_str());
-}
-
-void offchip::printSavingsAverage(const std::vector<SavingsSummary> &All) {
-  if (All.empty())
-    return;
-  SavingsSummary Avg = averageSavings(All);
-  std::printf("%-12s %12s %13s %11s %10s\n", "AVERAGE",
-              formatPercent(Avg.OnChipNetLatency).c_str(),
-              formatPercent(Avg.OffChipNetLatency).c_str(),
-              formatPercent(Avg.MemLatency).c_str(),
-              formatPercent(Avg.ExecutionTime).c_str());
-}
-
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif

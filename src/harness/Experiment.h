@@ -56,30 +56,6 @@ SimResult runVariant(const AppModel &App, const MachineConfig &Config,
 LayoutPlan planForVariant(const AppModel &App, const MachineConfig &Config,
                           const ClusterMapping &Mapping, RunVariant Variant);
 
-//===----------------------------------------------------------------------===//
-// Output helpers (deprecated)
-//===----------------------------------------------------------------------===//
-//
-// The free printing functions predate the BenchSuite output-sink interface
-// (harness/BenchSuite.h), which renders the same tables through pluggable
-// table/CSV/JSON sinks. They survive as thin forwarding shims for one
-// release; new code should use BenchSuite::header() / savingsRow() /
-// savingsAverage().
-
-/// Prints the bench banner: experiment id, what it reproduces, and the
-/// machine summary.
-[[deprecated("use BenchSuite::header()")]]
-void printBenchHeader(const std::string &ExperimentId,
-                      const std::string &Claim, const MachineConfig &Config);
-
-/// Prints one four-metric savings row (Figures 14/16/22 format).
-[[deprecated("use BenchSuite::savingsRow()")]]
-void printSavingsRow(const std::string &Name, const SavingsSummary &S);
-
-/// Prints the four-metric average row over accumulated summaries.
-[[deprecated("use BenchSuite::savingsAverage()")]]
-void printSavingsAverage(const std::vector<SavingsSummary> &All);
-
 } // namespace offchip
 
 #endif // OFFCHIP_HARNESS_EXPERIMENT_H

@@ -19,10 +19,9 @@
 
 #include "noc/Mesh.h"
 #include "support/MathUtil.h"
+#include "support/Pow2.h"
 
 #include <algorithm>
-#include <deque>
-
 #include <cstdint>
 #include <vector>
 
@@ -84,17 +83,23 @@ public:
   /// Sum over links of cycles each link was reserved; a congestion proxy.
   std::uint64_t totalLinkBusyCycles() const { return LinkBusyCycles; }
 
+  /// Starts accumulating wall-clock time spent inside send() (the phase
+  /// timing of SimResult::PhaseTimes). Off by default: measuring reads the
+  /// clock twice per message.
+  void enableCallTiming() { TimeCalls = true; }
+
+  /// Wall-clock seconds spent in send() since construction/reset; zero
+  /// unless enableCallTiming() was called.
+  double timedSeconds() const { return TimedSeconds; }
+
   /// Forgets all link occupancy and counters.
   void reset();
 
 private:
   unsigned flitsFor(unsigned Bytes) const {
-    return static_cast<unsigned>(
-        std::max<std::uint64_t>(1, ceilDiv(Bytes, Config.LinkBytes)));
+    return static_cast<unsigned>(std::max<std::uint64_t>(
+        1, FlitDiv.div(Bytes + Config.LinkBytes - 1)));
   }
-
-  /// Directed link leaving \p From toward adjacent node \p To.
-  unsigned linkIndex(unsigned From, unsigned To) const;
 
   /// Reservation calendar of one directed link.
   struct LinkState {
@@ -102,10 +107,12 @@ private:
       std::uint64_t Start;
       std::uint64_t End;
     };
-    /// Future reservations, sorted by start, non-overlapping. Stays short:
-    /// entries ending before the current injection floor are pruned on
-    /// every reserve() call.
-    std::deque<Interval> Reserved;
+    /// Future reservations at [Head, end), sorted by start, non-overlapping.
+    /// Contiguous storage with a lazily-compacted head: pruning entries that
+    /// ended before the injection floor just advances Head, and the dead
+    /// prefix is erased in bulk once it dominates the buffer.
+    std::vector<Interval> Reserved;
+    std::size_t Head = 0;
 
     /// Books \p Flits cycles at the earliest time >= \p From and \returns
     /// the booked start cycle. \p Floor is the engine-guaranteed lower
@@ -113,14 +120,25 @@ private:
     /// reclaimed.
     std::uint64_t reserve(std::uint64_t From, unsigned Flits,
                           std::uint64_t Floor);
+
+    void clear() {
+      Reserved.clear();
+      Head = 0;
+    }
   };
 
   Mesh Topology;
   NocConfig Config;
+  /// Shift/mask decode of node id -> (X, Y) for route computation.
+  Pow2Divider XDiv;
+  /// Shift/mask decode of bytes -> flits.
+  Pow2Divider FlitDiv;
   std::vector<LinkState> Links;
   std::uint64_t Floor = 0;
   std::uint64_t Messages = 0;
   std::uint64_t LinkBusyCycles = 0;
+  bool TimeCalls = false;
+  double TimedSeconds = 0.0;
 };
 
 } // namespace offchip

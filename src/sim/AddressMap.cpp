@@ -50,6 +50,27 @@ AddressMap::AddressMap(const AffineProgram &Program, const LayoutPlan &Plan,
   }
 }
 
+bool AddressMap::strideBytesAlong(const AffineRef &Ref, unsigned Dim,
+                                  std::int64_t &DeltaBytes) const {
+  ArrayId Id = Ref.arrayId();
+  if (Layouts[Id]->isTransformed())
+    return false;
+  const ArrayDecl &Decl = Program->array(Id);
+  const IntMatrix &A = Ref.accessMatrix();
+  assert(Dim < A.numCols() && "stride dimension out of range");
+  // Row-major VA is Base + sum_d DataVec[d] * stride_d with stride_d the
+  // byte stride of data dimension d; stepping iterator Dim by one adds
+  // A[d][Dim] to DataVec[d], so the VA delta is the stride-weighted column.
+  std::int64_t Stride = static_cast<std::int64_t>(Decl.ElementBytes);
+  std::int64_t Delta = 0;
+  for (unsigned D = Decl.rank(); D > 0; --D) {
+    Delta += A.at(D - 1, Dim) * Stride;
+    Stride *= Decl.Dims[D - 1];
+  }
+  DeltaBytes = Delta;
+  return true;
+}
+
 std::uint64_t AddressMap::vaOfFlat(ArrayId Id, std::int64_t Flat) const {
   const ArrayDecl &Decl = Program->array(Id);
   std::int64_t MaxFlat = static_cast<std::int64_t>(Decl.numElements()) - 1;

@@ -46,6 +46,14 @@ public:
   /// computation overhead.
   bool isTransformed(ArrayId Id) const { return Layouts[Id]->isTransformed(); }
 
+  /// Constant VA delta of \p Ref when loop dimension \p Dim advances by one
+  /// with all other iterators unchanged. Only exists for untransformed
+  /// (row-major) layouts, whose VA is affine in the data vector; customized
+  /// layouts interpose strip-mine/permute arithmetic that is not. \returns
+  /// false (leaving \p DeltaBytes untouched) when no constant delta exists.
+  bool strideBytesAlong(const AffineRef &Ref, unsigned Dim,
+                        std::int64_t &DeltaBytes) const;
+
   std::uint64_t base(ArrayId Id) const { return Bases[Id]; }
 
   const AffineProgram &program() const { return *Program; }

@@ -6,6 +6,7 @@
 #include "support/Random.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <queue>
 
@@ -87,38 +88,63 @@ SimResult offchip::runSimulation(const std::vector<AppInstance> &Apps,
   }
 
   // Event loop: earliest-ready thread issues its next (blocking) access.
-  struct Event {
-    std::uint64_t Time;
-    unsigned Thread;
-    bool operator>(const Event &O) const {
-      if (Time != O.Time)
-        return Time > O.Time;
-      return Thread > O.Thread;
-    }
+  // Events are packed as (Time << ThreadShift) | Thread with Thread below
+  // 2^ThreadShift, which orders exactly like (Time, Thread) lexicographic —
+  // and since a thread has at most one queued event, keys are unique and
+  // the pop order is fully determined. A flat integer heap keeps the ~1
+  // push/pop pair per simulated access off the struct-compare path.
+  const unsigned ThreadShift = [&] {
+    unsigned S = 0;
+    while ((1ull << S) < Threads.size())
+      ++S;
+    return S;
+  }();
+  const std::uint64_t ThreadMask = (1ull << ThreadShift) - 1;
+  auto PackEvent = [ThreadShift](std::uint64_t Time, unsigned Thread) {
+    return (Time << ThreadShift) | Thread;
   };
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> Queue;
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<std::uint64_t>>
+      Queue;
   for (unsigned T = 0; T < Threads.size(); ++T)
     // Stagger thread starts (OS scheduling jitter); identical streams
     // otherwise march in lockstep and issue perfectly aligned miss bursts.
-    Queue.push({(static_cast<std::uint64_t>(T) * 389) % 1024, T});
+    Queue.push(PackEvent((static_cast<std::uint64_t>(T) * 389) % 1024, T));
+
+  using Clock = std::chrono::steady_clock;
+  const bool Timing = Config.CollectPhaseTimes;
+  Clock::time_point RunStart;
+  double StreamSeconds = 0.0;
+  if (Timing)
+    RunStart = Clock::now();
 
   std::uint64_t LastTime = 0;
   AccessRequest Req;
   while (!Queue.empty()) {
-    Event E = Queue.top();
+    std::uint64_t Packed = Queue.top();
     Queue.pop();
-    Thread &T = Threads[E.Thread];
-    if (!T.Stream.next(Req)) {
+    std::uint64_t Time = Packed >> ThreadShift;
+    unsigned ThreadId = static_cast<unsigned>(Packed & ThreadMask);
+    Thread &T = Threads[ThreadId];
+    bool Has;
+    if (Timing) {
+      Clock::time_point T0 = Clock::now();
+      Has = T.Stream.next(Req);
+      StreamSeconds += std::chrono::duration<double>(Clock::now() - T0).count();
+    } else {
+      Has = T.Stream.next(Req);
+    }
+    if (!Has) {
       T.Done = true;
-      T.FinishTime = E.Time;
-      LastTime = std::max(LastTime, E.Time);
+      T.FinishTime = Time;
+      LastTime = std::max(LastTime, Time);
       continue;
     }
-    std::uint64_t Done = M.access(T.Node, Req.VA, Req.IsWrite, E.Time, R);
+    std::uint64_t Done = M.access(T.Node, Req.VA, Req.IsWrite, Time, R);
     std::uint64_t Next = Done + T.nextGap();
     if (Req.Transformed)
       Next += Config.TransformOverheadCycles;
-    Queue.push({Next, E.Thread});
+    Queue.push(PackEvent(Next, ThreadId));
   }
 
   R.ExecutionCycles = LastTime;
@@ -137,6 +163,11 @@ SimResult offchip::runSimulation(const std::vector<AppInstance> &Apps,
   }
 
   M.finalize(R, LastTime == 0 ? 1 : LastTime);
+  if (Timing) {
+    R.Phases.StreamGenSeconds = StreamSeconds;
+    R.Phases.TotalSeconds =
+        std::chrono::duration<double>(Clock::now() - RunStart).count();
+  }
   return R;
 }
 

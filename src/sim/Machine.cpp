@@ -6,14 +6,22 @@ using namespace offchip;
 
 Machine::Machine(const MachineConfig &Config, const ClusterMapping &Mapping,
                  VirtualMemory &VM)
-    : Config(Config), Mapping(&Mapping), VM(&VM),
-      Topology(Config.MeshX, Config.MeshY), Net(Topology, Config.Noc),
-      MCNodes(Mapping.mcNodes()), Dir(Config.numNodes()) {
+    : Config(Config), InterleaveDiv(Config.interleaveBytes()),
+      MCDiv(Config.NumMCs), L1LineDiv(Config.L1LineBytes),
+      L2LineDiv(Config.L2LineBytes), NodeDiv(Config.numNodes()),
+      Mapping(&Mapping), VM(&VM), Topology(Config.MeshX, Config.MeshY),
+      Net(Topology, Config.Noc), MCNodes(Mapping.mcNodes()),
+      Dir(Config.numNodes()) {
   assert(MCNodes.size() == Config.NumMCs &&
          "mapping MC count must match the machine");
+  if (Config.CollectPhaseTimes)
+    Net.enableCallTiming();
   MCs.reserve(Config.NumMCs);
-  for (unsigned I = 0; I < Config.NumMCs; ++I)
+  for (unsigned I = 0; I < Config.NumMCs; ++I) {
     MCs.emplace_back(I, Config.Dram);
+    if (Config.CollectPhaseTimes)
+      MCs.back().enableCallTiming();
+  }
 
   unsigned N = Config.numNodes();
   L1s.reserve(N);
@@ -50,8 +58,7 @@ std::uint64_t Machine::physFor(std::uint64_t VA, unsigned Node) {
 }
 
 unsigned Machine::mcForPhys(std::uint64_t PA) const {
-  return static_cast<unsigned>((PA / Config.interleaveBytes()) %
-                               Config.NumMCs);
+  return static_cast<unsigned>(MCDiv.mod(InterleaveDiv.div(PA)));
 }
 
 std::uint64_t Machine::access(unsigned Node, std::uint64_t VA, bool IsWrite,
@@ -61,7 +68,7 @@ std::uint64_t Machine::access(unsigned Node, std::uint64_t VA, bool IsWrite,
   Net.advanceFloor(Time);
   ++R.TotalAccesses;
   std::uint64_t T = Time + Config.L1LatencyCycles;
-  std::uint64_t L1Line = VA / Config.L1LineBytes;
+  std::uint64_t L1Line = L1LineDiv.div(VA);
   if (L1s[Node].access(L1Line, IsWrite)) {
     ++R.L1Hits;
     R.AccessLatency.addSample(static_cast<double>(T - Time));
@@ -77,10 +84,9 @@ std::uint64_t Machine::access(unsigned Node, std::uint64_t VA, bool IsWrite,
   if (Ev.Valid && Ev.Dirty) {
     std::uint64_t VictimVA = Ev.LineAddr * Config.L1LineBytes;
     std::uint64_t VictimPA = physFor(VictimVA, Node);
-    std::uint64_t VictimL2Line = VictimPA / Config.L2LineBytes;
+    std::uint64_t VictimL2Line = L2LineDiv.div(VictimPA);
     if (Config.SharedL2) {
-      unsigned Home =
-          static_cast<unsigned>(VictimL2Line % Config.numNodes());
+      unsigned Home = static_cast<unsigned>(NodeDiv.mod(VictimL2Line));
       // Fire-and-forget writeback to the home bank: occupies links but no
       // one waits for it.
       Net.send(Node, Home, Config.L1LineBytes, Done);
@@ -97,7 +103,7 @@ std::uint64_t Machine::accessPrivate(unsigned Node, std::uint64_t PA,
                                      bool IsWrite, std::uint64_t Time,
                                      SimResult &R) {
   std::uint64_t T = Time + Config.L2LatencyCycles;
-  std::uint64_t Line = PA / Config.L2LineBytes;
+  std::uint64_t Line = L2LineDiv.div(PA);
   if (L2s[Node].access(Line, IsWrite)) {
     ++R.LocalL2Hits;
     return T;
@@ -172,8 +178,8 @@ std::uint64_t Machine::accessPrivate(unsigned Node, std::uint64_t PA,
 std::uint64_t Machine::accessShared(unsigned Node, std::uint64_t PA,
                                     bool IsWrite, std::uint64_t Time,
                                     SimResult &R) {
-  std::uint64_t Line = PA / Config.L2LineBytes;
-  unsigned Home = static_cast<unsigned>(Line % Config.numNodes());
+  std::uint64_t Line = L2LineDiv.div(PA);
+  unsigned Home = static_cast<unsigned>(NodeDiv.mod(Line));
 
   // Path 1: L1 miss request to the home bank.
   MessageResult Req = Net.send(Node, Home, Config.RequestBytes, Time);
@@ -258,4 +264,12 @@ void Machine::finalize(SimResult &R, std::uint64_t Now) const {
                  : static_cast<double>(Hits) / static_cast<double>(Total);
   R.RedirectedPages = VM->redirectedPages();
   R.AllocatedPages = VM->allocatedPages();
+
+  R.Phases.Enabled = Config.CollectPhaseTimes;
+  if (Config.CollectPhaseTimes) {
+    R.Phases.NetworkSeconds = Net.timedSeconds();
+    R.Phases.DramSeconds = 0.0;
+    for (const MemoryController &MC : MCs)
+      R.Phases.DramSeconds += MC.timedSeconds();
+  }
 }

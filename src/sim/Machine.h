@@ -31,6 +31,7 @@
 #include "noc/Network.h"
 #include "sim/MachineConfig.h"
 #include "sim/Metrics.h"
+#include "support/Pow2.h"
 #include "vm/VirtualMemory.h"
 
 #include <memory>
@@ -69,6 +70,13 @@ private:
                              std::uint64_t Time, SimResult &R);
 
   MachineConfig Config;
+  /// Shift/mask decode of the per-access address arithmetic (generic div
+  /// fallback for non-power-of-two configurations).
+  Pow2Divider InterleaveDiv; // interleaveBytes()
+  Pow2Divider MCDiv;         // NumMCs
+  Pow2Divider L1LineDiv;     // L1LineBytes
+  Pow2Divider L2LineDiv;     // L2LineBytes
+  Pow2Divider NodeDiv;       // numNodes() (shared-L2 home bank)
   const ClusterMapping *Mapping;
   VirtualMemory *VM;
   Mesh Topology;

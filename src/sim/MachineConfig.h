@@ -71,6 +71,12 @@ struct MachineConfig {
   /// the nearest MC with no network contention and no bank queueing.
   bool OptimalScheme = false;
 
+  /// Collect wall-clock phase timers (stream generation, network, DRAM)
+  /// into SimResult::PhaseTimes. Off by default: measuring reads the host
+  /// clock around every hot-path call and perturbs wall-clock benchmarks.
+  /// Simulated results are identical either way.
+  bool CollectPhaseTimes = false;
+
   unsigned numNodes() const { return MeshX * MeshY; }
   unsigned numThreads() const { return numNodes() * ThreadsPerCore; }
 

@@ -24,6 +24,22 @@
 
 namespace offchip {
 
+/// Wall-clock attribution of one run over the simulator's phases, in host
+/// seconds (not simulated cycles). Collected only when
+/// MachineConfig::CollectPhaseTimes is set; the timers read the host clock
+/// on the hot path, so they stay off for result-bearing runs.
+struct PhaseTimes {
+  bool Enabled = false;
+  /// Time inside ThreadStream::next (access-stream generation).
+  double StreamGenSeconds = 0.0;
+  /// Time inside Network::send (route walk + link reservation).
+  double NetworkSeconds = 0.0;
+  /// Time inside MemoryController access/writeback paths.
+  double DramSeconds = 0.0;
+  /// End-to-end wall time of the simulation.
+  double TotalSeconds = 0.0;
+};
+
 /// Aggregated results of one simulation run.
 struct SimResult {
   // Execution.
@@ -65,6 +81,9 @@ struct SimResult {
   // OS statistics.
   std::uint64_t RedirectedPages = 0;
   std::uint64_t AllocatedPages = 0;
+
+  // Wall-clock phase attribution (MachineConfig::CollectPhaseTimes).
+  PhaseTimes Phases;
 
   /// Fraction of all data accesses that went off-chip (Figure 3).
   double offChipFraction() const {

@@ -10,7 +10,25 @@ ThreadStream::ThreadStream(const AddressMap &Map, unsigned ThreadId,
   seekNest();
 }
 
+void ThreadStream::prepareFastRefs() {
+  if (NestIdx == FastNestIdx)
+    return;
+  const LoopNest &Nest = Map->program().nests()[NestIdx];
+  unsigned Depth = Nest.space().depth();
+  Fast.assign(Nest.refs().size(), FastRef());
+  for (std::size_t I = 0; I < Nest.refs().size(); ++I) {
+    const AffineRef &Ref = Nest.refs()[I];
+    FastRef &F = Fast[I];
+    F.IsWrite = Ref.isWrite();
+    F.Transformed = Map->isTransformed(Ref.arrayId());
+    if (Depth != 0)
+      F.HasDelta = Map->strideBytesAlong(Ref, Depth - 1, F.Delta);
+  }
+  FastNestIdx = NestIdx;
+}
+
 bool ThreadStream::seekNest() {
+  FastStep = false;
   const AffineProgram &P = Map->program();
   while (NestIdx < P.nests().size()) {
     const LoopNest &Nest = P.nests()[NestIdx];
@@ -30,6 +48,7 @@ bool ThreadStream::seekNest() {
     Iter = ChunkSpace.firstIteration();
     InIteration = true;
     Slot = 0;
+    prepareFastRefs();
     return true;
   }
   InIteration = false;
@@ -38,8 +57,16 @@ bool ThreadStream::seekNest() {
 
 void ThreadStream::advanceIteration() {
   Slot = 0;
-  if (ChunkSpace.nextIteration(Iter))
+  unsigned Depth = ChunkSpace.depth();
+  std::int64_t PrevInner = Depth != 0 ? Iter[Depth - 1] : 0;
+  if (ChunkSpace.nextIteration(Iter)) {
+    // A pure innermost step leaves every outer iterator unchanged and
+    // advances the last one by exactly 1. A carry can only land on
+    // PrevInner + 1 if the innermost extent were zero — impossible for a
+    // space that yielded PrevInner — so this test is exact.
+    FastStep = Depth != 0 && Iter[Depth - 1] == PrevInner + 1;
     return;
+  }
   ++Rep;
   seekNest();
 }
@@ -61,10 +88,19 @@ bool ThreadStream::next(AccessRequest &Out) {
       continue;
     }
     if (Slot < NumAffine) {
-      const AffineRef &Ref = Nest.refs()[Slot++];
-      Out.VA = Map->vaOf(Ref.arrayId(), Ref.evaluate(Iter));
-      Out.IsWrite = Ref.isWrite();
-      Out.Transformed = Map->isTransformed(Ref.arrayId());
+      FastRef &F = Fast[Slot];
+      if (FastStep && F.HasDelta) {
+        // Unsigned wraparound makes negative deltas exact: the final VA is
+        // in range, so the mod-2^64 sum equals the recomputed value.
+        F.LastVA += static_cast<std::uint64_t>(F.Delta);
+      } else {
+        const AffineRef &Ref = Nest.refs()[Slot];
+        F.LastVA = Map->vaOf(Ref.arrayId(), Ref.evaluate(Iter));
+      }
+      ++Slot;
+      Out.VA = F.LastVA;
+      Out.IsWrite = F.IsWrite;
+      Out.Transformed = F.Transformed;
       ++Generated;
       return true;
     }

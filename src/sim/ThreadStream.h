@@ -45,6 +45,22 @@ private:
   /// Advances to the next iteration (and nest/repetition when exhausted).
   void advanceIteration();
 
+  /// Per-affine-reference strength-reduction state. Along the innermost
+  /// loop the VA of an untransformed reference moves by a constant byte
+  /// delta, so successive iterations add Delta to the previous VA instead
+  /// of re-running the full evaluate()/elementOffset() delinearization.
+  /// Transformed and indexed references keep the general path.
+  struct FastRef {
+    std::int64_t Delta = 0;
+    std::uint64_t LastVA = 0;
+    bool HasDelta = false;
+    bool IsWrite = false;
+    bool Transformed = false;
+  };
+
+  /// Rebuilds Fast for the current nest (no-op when unchanged).
+  void prepareFastRefs();
+
   const AddressMap *Map;
   unsigned ThreadId;
   unsigned NumThreads;
@@ -54,6 +70,13 @@ private:
   IterationSpace ChunkSpace;
   IntVector Iter;
   bool InIteration = false;
+
+  std::vector<FastRef> Fast;
+  /// Nest the Fast deltas were computed for (~0 before the first).
+  unsigned FastNestIdx = ~0u;
+  /// True when the current iteration was reached by a pure innermost-loop
+  /// step, making every LastVA + Delta valid.
+  bool FastStep = false;
 
   /// Position within the current iteration's access list: affine refs come
   /// first, then each indexed ref expands to two slots.

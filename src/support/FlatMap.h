@@ -1,0 +1,176 @@
+//===- support/FlatMap.h - Open-addressing uint64 hash map ------*- C++ -*-===//
+///
+/// \file
+/// A linear-probing hash map from uint64 keys to uint64 values, built for
+/// the directory's line -> sharer-mask table: one flat allocation, no
+/// per-node boxes, and lookups that touch a single cache line in the common
+/// case. std::unordered_map allocates a node per line and chases a bucket
+/// pointer per probe, which dominates the directory's profile once a run
+/// tracks hundreds of thousands of lines.
+///
+/// Capacity is a power of two; slots hash with a Fibonacci multiplier so
+/// that the low-entropy, stride-patterned line addresses the simulator
+/// produces spread over the table. Deletion uses backward-shift compaction
+/// (no tombstones), so probe chains never degrade over a run's lifetime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_SUPPORT_FLATMAP_H
+#define OFFCHIP_SUPPORT_FLATMAP_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace offchip {
+
+/// Hash map uint64 -> uint64. The key ~0 is reserved as the empty sentinel
+/// and must not be inserted (line addresses never reach it: they are byte
+/// addresses divided by the line size).
+class FlatMap64 {
+public:
+  static constexpr std::uint64_t EmptyKey = ~0ull;
+
+  explicit FlatMap64(std::size_t MinCapacity = 16) {
+    std::size_t Cap = 16;
+    while (Cap < MinCapacity)
+      Cap <<= 1;
+    initTable(Cap);
+  }
+
+  std::size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  std::size_t capacity() const { return Slots.size(); }
+
+  /// \returns a pointer to the value of \p Key, or nullptr when absent.
+  const std::uint64_t *find(std::uint64_t Key) const {
+    assert(Key != EmptyKey && "the all-ones key is reserved");
+    for (std::size_t I = homeOf(Key);; I = nextSlot(I)) {
+      const Slot &S = Slots[I];
+      if (S.Key == Key)
+        return &S.Value;
+      if (S.Key == EmptyKey)
+        return nullptr;
+    }
+  }
+
+  /// Mutable lookup; nullptr when absent. Never grows the table.
+  std::uint64_t *find(std::uint64_t Key) {
+    return const_cast<std::uint64_t *>(
+        static_cast<const FlatMap64 *>(this)->find(Key));
+  }
+
+  /// \returns the value slot for \p Key, inserting a zero value when absent.
+  std::uint64_t &refOrInsert(std::uint64_t Key) {
+    assert(Key != EmptyKey && "the all-ones key is reserved");
+    if ((Count + 1) * 10 >= Slots.size() * 7)
+      grow();
+    for (std::size_t I = homeOf(Key);; I = nextSlot(I)) {
+      Slot &S = Slots[I];
+      if (S.Key == Key)
+        return S.Value;
+      if (S.Key == EmptyKey) {
+        S.Key = Key;
+        S.Value = 0;
+        ++Count;
+        return S.Value;
+      }
+    }
+  }
+
+  /// Removes \p Key. \returns true when it was present.
+  bool erase(std::uint64_t Key) {
+    assert(Key != EmptyKey && "the all-ones key is reserved");
+    std::size_t I = homeOf(Key);
+    for (;; I = nextSlot(I)) {
+      if (Slots[I].Key == Key)
+        break;
+      if (Slots[I].Key == EmptyKey)
+        return false;
+    }
+    // Backward-shift compaction: pull each displaced follower into the hole
+    // so every surviving entry stays reachable from its home slot.
+    std::size_t Hole = I;
+    for (std::size_t J = nextSlot(I);; J = nextSlot(J)) {
+      const Slot &S = Slots[J];
+      if (S.Key == EmptyKey)
+        break;
+      std::size_t Home = homeOf(S.Key);
+      // S may move into the hole only if the hole lies within its probe
+      // path, i.e. cyclically between its home and its current position.
+      bool HoleInPath = J >= Home ? (Hole >= Home && Hole < J)
+                                  : (Hole >= Home || Hole < J);
+      if (HoleInPath) {
+        Slots[Hole] = S;
+        Hole = J;
+      }
+    }
+    Slots[Hole].Key = EmptyKey;
+    --Count;
+    return true;
+  }
+
+  /// Pre-sizes the table for \p N entries without rehashing churn.
+  void reserve(std::size_t N) {
+    std::size_t Need = 16;
+    while (N * 10 >= Need * 7)
+      Need <<= 1;
+    if (Need > Slots.size())
+      rehash(Need);
+  }
+
+  void clear() {
+    for (Slot &S : Slots)
+      S.Key = EmptyKey;
+    Count = 0;
+  }
+
+  /// Invokes \p Fn(Key, Value) for every entry (unspecified order).
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (const Slot &S : Slots)
+      if (S.Key != EmptyKey)
+        Fn(S.Key, S.Value);
+  }
+
+private:
+  struct Slot {
+    std::uint64_t Key = EmptyKey;
+    std::uint64_t Value = 0;
+  };
+
+  std::size_t homeOf(std::uint64_t Key) const {
+    return static_cast<std::size_t>((Key * 0x9E3779B97F4A7C15ull) >>
+                                    ShiftBits);
+  }
+
+  std::size_t nextSlot(std::size_t I) const {
+    return (I + 1) & (Slots.size() - 1);
+  }
+
+  void initTable(std::size_t Cap) {
+    Slots.assign(Cap, Slot());
+    ShiftBits = 64;
+    while ((1ull << (64 - ShiftBits)) < Cap)
+      --ShiftBits;
+  }
+
+  void rehash(std::size_t NewCap) {
+    std::vector<Slot> Old = std::move(Slots);
+    initTable(NewCap);
+    Count = 0;
+    for (const Slot &S : Old)
+      if (S.Key != EmptyKey)
+        refOrInsert(S.Key) = S.Value;
+  }
+
+  void grow() { rehash(Slots.size() * 2); }
+
+  std::vector<Slot> Slots;
+  std::size_t Count = 0;
+  unsigned ShiftBits = 60; // 64 - log2(capacity)
+};
+
+} // namespace offchip
+
+#endif // OFFCHIP_SUPPORT_FLATMAP_H

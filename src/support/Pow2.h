@@ -1,0 +1,60 @@
+//===- support/Pow2.h - Precomputed division helpers ------------*- C++ -*-===//
+///
+/// \file
+/// Shift/mask division for the simulator's address-decode hot paths. Every
+/// per-access decode (cache set/line extraction, MC interleave selection,
+/// page-number math, bank indexing) divides by a configuration constant that
+/// is almost always a power of two; Pow2Divider precomputes the shift and
+/// mask once at construction and falls back to hardware div/mod for
+/// non-power-of-two configurations, so fast and generic paths are exactly
+/// equivalent by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_SUPPORT_POW2_H
+#define OFFCHIP_SUPPORT_POW2_H
+
+#include "support/MathUtil.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace offchip {
+
+/// Divides/reduces unsigned 64-bit values by a fixed positive divisor.
+class Pow2Divider {
+public:
+  /// Divisor 1: div is the identity, mod is always zero.
+  Pow2Divider() = default;
+
+  explicit Pow2Divider(std::uint64_t Divisor) : D(Divisor) {
+    assert(Divisor != 0 && "divider needs a positive divisor");
+    IsPow2 = isPowerOfTwo(Divisor);
+    if (IsPow2) {
+      Shift = log2Floor(Divisor);
+      Mask = Divisor - 1;
+    }
+  }
+
+  std::uint64_t divisor() const { return D; }
+
+  /// X / divisor.
+  std::uint64_t div(std::uint64_t X) const {
+    return IsPow2 ? X >> Shift : X / D;
+  }
+
+  /// X % divisor.
+  std::uint64_t mod(std::uint64_t X) const {
+    return IsPow2 ? (X & Mask) : X % D;
+  }
+
+private:
+  std::uint64_t D = 1;
+  std::uint64_t Mask = 0;
+  unsigned Shift = 0;
+  bool IsPow2 = true;
+};
+
+} // namespace offchip
+
+#endif // OFFCHIP_SUPPORT_POW2_H

@@ -16,6 +16,9 @@ VirtualMemory::VirtualMemory(VmConfig Config, PageAllocPolicy Policy)
     reportFatalError("page size must be a power of two");
   if (Config.NumMCs == 0)
     reportFatalError("need at least one memory controller");
+  PageShift = log2Floor(Config.PageBytes);
+  PageMask = Config.PageBytes - 1;
+  MCDiv = Pow2Divider(Config.NumMCs);
 }
 
 void VirtualMemory::growTables(std::uint64_t VPN) {
@@ -64,27 +67,26 @@ std::uint64_t VirtualMemory::allocatePhysPage(unsigned PreferredMC) {
 
 std::uint64_t VirtualMemory::translate(std::uint64_t VA,
                                        unsigned TouchingMC) {
-  std::uint64_t VPN = VA / Config.PageBytes;
-  std::uint64_t Offset = VA % Config.PageBytes;
+  std::uint64_t VPN = VA >> PageShift;
+  std::uint64_t Offset = VA & PageMask;
   growTables(VPN);
   std::int64_t PPN = PageTable[VPN];
   if (PPN < 0) {
     unsigned Preferred = 0;
     switch (Policy) {
     case PageAllocPolicy::InterleavedRoundRobin:
-      Preferred = static_cast<unsigned>(VPN % Config.NumMCs);
+      Preferred = static_cast<unsigned>(MCDiv.mod(VPN));
       break;
     case PageAllocPolicy::FirstTouch:
-      Preferred = TouchingMC % Config.NumMCs;
+      Preferred = static_cast<unsigned>(MCDiv.mod(TouchingMC));
       break;
     case PageAllocPolicy::CompilerGuided:
-      Preferred = Hints[VPN] >= 0
-                      ? static_cast<unsigned>(Hints[VPN])
-                      : static_cast<unsigned>(VPN % Config.NumMCs);
+      Preferred = Hints[VPN] >= 0 ? static_cast<unsigned>(Hints[VPN])
+                                  : static_cast<unsigned>(MCDiv.mod(VPN));
       break;
     }
     PPN = static_cast<std::int64_t>(allocatePhysPage(Preferred));
     PageTable[VPN] = PPN;
   }
-  return static_cast<std::uint64_t>(PPN) * Config.PageBytes + Offset;
+  return (static_cast<std::uint64_t>(PPN) << PageShift) + Offset;
 }

@@ -23,6 +23,8 @@
 #ifndef OFFCHIP_VM_VIRTUALMEMORY_H
 #define OFFCHIP_VM_VIRTUALMEMORY_H
 
+#include "support/Pow2.h"
+
 #include <cstdint>
 #include <vector>
 
@@ -67,7 +69,7 @@ public:
 
   /// MC owning physical address \p PA under page interleaving.
   unsigned mcOfPhysAddr(std::uint64_t PA) const {
-    return static_cast<unsigned>((PA / Config.PageBytes) % Config.NumMCs);
+    return static_cast<unsigned>(MCDiv.mod(PA >> PageShift));
   }
 
   /// Number of pages whose desired MC was full and that were redirected to
@@ -84,6 +86,12 @@ private:
 
   VmConfig Config;
   PageAllocPolicy Policy;
+  /// Page size is validated to be a power of two, so VPN/offset extraction
+  /// is a shift and a mask; the MC count may be anything, so it keeps the
+  /// generic-divide fallback.
+  unsigned PageShift;
+  std::uint64_t PageMask;
+  Pow2Divider MCDiv;
   std::uint64_t NextVA;
   /// VPN -> PPN, -1 when unmapped. Flat vectors keep translate() off the
   /// hash path: it runs once per simulated access.
@@ -93,7 +101,6 @@ private:
   /// Next free local page index per MC.
   std::vector<std::uint64_t> NextLocal;
   std::uint64_t PagesPerMC;
-  std::uint64_t RoundRobinNext = 0;
   std::uint64_t Redirected = 0;
   std::uint64_t Allocated = 0;
 };

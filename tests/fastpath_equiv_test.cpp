@@ -1,0 +1,303 @@
+//===- tests/fastpath_equiv_test.cpp --------------------------------------===//
+///
+/// The fast paths this simulator leans on — shift/mask address decode
+/// (support/Pow2.h), the open-addressing directory map (support/FlatMap.h),
+/// and the strength-reduced access stream (sim/ThreadStream.cpp) — must be
+/// exactly equivalent to the generic implementations they replaced. Each
+/// test here confronts a fast path with an independent slow-path model and
+/// demands bit-identical answers, including the configurations that defeat
+/// the fast path (non-power-of-two geometry, transformed layouts, indexed
+/// references).
+///
+//===----------------------------------------------------------------------===//
+
+#include "cache/Cache.h"
+#include "harness/Experiment.h"
+#include "sim/ThreadStream.h"
+#include "support/FlatMap.h"
+#include "support/Pow2.h"
+#include "support/Random.h"
+#include "workloads/AppModel.h"
+
+#include <gtest/gtest.h>
+
+#include <cassert>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+using namespace offchip;
+
+//===----------------------------------------------------------------------===//
+// Pow2Divider vs hardware div/mod
+//===----------------------------------------------------------------------===//
+
+TEST(Pow2DividerTest, MatchesHardwareDivMod) {
+  const std::uint64_t Divisors[] = {1,  2,  4,   8,   64,   256,  4096,
+                                    3,  5,  6,   7,   9,    12,   36,
+                                    96, 1000, 4097, 1ull << 20, (1ull << 20) + 1};
+  SplitMix64 Rng(42);
+  std::vector<std::uint64_t> Xs;
+  for (std::uint64_t X = 0; X < 1024; ++X)
+    Xs.push_back(X);
+  for (int I = 0; I < 1000; ++I)
+    Xs.push_back(Rng.next());
+  for (std::uint64_t D : Divisors) {
+    Pow2Divider Div(D);
+    EXPECT_EQ(Div.divisor(), D);
+    Xs.push_back(D - 1);
+    Xs.push_back(D);
+    Xs.push_back(D + 1);
+    Xs.push_back(D * 12345);
+    for (std::uint64_t X : Xs) {
+      ASSERT_EQ(Div.div(X), X / D) << "X=" << X << " D=" << D;
+      ASSERT_EQ(Div.mod(X), X % D) << "X=" << X << " D=" << D;
+    }
+  }
+}
+
+TEST(Pow2DividerTest, DefaultIsDivisorOne) {
+  Pow2Divider Div;
+  EXPECT_EQ(Div.divisor(), 1u);
+  EXPECT_EQ(Div.div(12345), 12345u);
+  EXPECT_EQ(Div.mod(12345), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// FlatMap64 vs std::unordered_map
+//===----------------------------------------------------------------------===//
+
+TEST(FlatMap64Test, MatchesUnorderedMapModel) {
+  FlatMap64 Map;
+  std::unordered_map<std::uint64_t, std::uint64_t> Model;
+  SplitMix64 Rng(7);
+
+  auto CheckAgainstModel = [&] {
+    ASSERT_EQ(Map.size(), Model.size());
+    for (const auto &[K, V] : Model) {
+      const std::uint64_t *Found = Map.find(K);
+      ASSERT_NE(Found, nullptr) << "missing key " << K;
+      ASSERT_EQ(*Found, V) << "wrong value for key " << K;
+    }
+    std::size_t Visited = 0;
+    Map.forEach([&](std::uint64_t K, std::uint64_t V) {
+      auto It = Model.find(K);
+      ASSERT_NE(It, Model.end()) << "phantom key " << K;
+      ASSERT_EQ(It->second, V);
+      ++Visited;
+    });
+    ASSERT_EQ(Visited, Model.size());
+  };
+
+  // A small key universe forces many insert-erase-reinsert collisions (the
+  // backward-shift deletion path); occasional huge keys exercise hashing of
+  // sparse line addresses.
+  for (int Op = 0; Op < 200000; ++Op) {
+    std::uint64_t Key = (Op % 17 == 0) ? Rng.next() : Rng.nextBelow(700);
+    switch (Rng.nextBelow(4)) {
+    case 0:
+    case 1: { // insert / update (directory addSharer idiom)
+      std::uint64_t Bit = 1ull << Rng.nextBelow(64);
+      Map.refOrInsert(Key) |= Bit;
+      Model[Key] |= Bit;
+      break;
+    }
+    case 2: { // erase
+      Map.erase(Key);
+      Model.erase(Key);
+      break;
+    }
+    case 3: { // lookup
+      const std::uint64_t *Found = Map.find(Key);
+      auto It = Model.find(Key);
+      ASSERT_EQ(Found != nullptr, It != Model.end());
+      if (Found) {
+        ASSERT_EQ(*Found, It->second);
+      }
+      break;
+    }
+    }
+    if (Op % 20000 == 0)
+      CheckAgainstModel();
+  }
+  CheckAgainstModel();
+
+  Map.clear();
+  EXPECT_EQ(Map.size(), 0u);
+  EXPECT_TRUE(Map.empty());
+  EXPECT_EQ(Map.find(1), nullptr);
+}
+
+TEST(FlatMap64Test, ReserveKeepsContents) {
+  FlatMap64 Map;
+  for (std::uint64_t K = 0; K < 100; ++K)
+    Map.refOrInsert(K * 3) = K;
+  Map.reserve(1 << 12);
+  ASSERT_EQ(Map.size(), 100u);
+  for (std::uint64_t K = 0; K < 100; ++K) {
+    const std::uint64_t *V = Map.find(K * 3);
+    ASSERT_NE(V, nullptr);
+    EXPECT_EQ(*V, K);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Strength-reduced ThreadStream vs general-path reference walk
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Replays the thread's chunk walk issuing every access through the general
+/// path only — vaOf(evaluate(Iter)) each iteration, never a delta step.
+std::vector<AccessRequest> referenceStream(const AddressMap &Map,
+                                           unsigned ThreadId,
+                                           unsigned NumThreads) {
+  std::vector<AccessRequest> Out;
+  const AffineProgram &P = Map.program();
+  for (const LoopNest &Nest : P.nests()) {
+    for (unsigned Rep = 0; Rep < Nest.repeatCount(); ++Rep) {
+      IterationChunk Chunk = chunkForThread(Nest.space(), Nest.partitionDim(),
+                                            ThreadId, NumThreads);
+      IterationSpace Space = Nest.space().restricted(Nest.partitionDim(),
+                                                     Chunk.Begin, Chunk.End);
+      if (Space.isEmpty())
+        continue;
+      IntVector Iter = Space.firstIteration();
+      do {
+        for (const AffineRef &Ref : Nest.refs()) {
+          AccessRequest R;
+          R.VA = Map.vaOf(Ref.arrayId(), Ref.evaluate(Iter));
+          R.IsWrite = Ref.isWrite();
+          R.Transformed = Map.isTransformed(Ref.arrayId());
+          Out.push_back(R);
+        }
+        for (const IndexedRef &IRef : Nest.indexedRefs()) {
+          IntVector IndexVec = IRef.IndexAccess.evaluate(Iter);
+          AccessRequest RI;
+          RI.VA = Map.vaOf(IRef.IndexArray, IndexVec);
+          RI.IsWrite = false;
+          RI.Transformed = Map.isTransformed(IRef.IndexArray);
+          Out.push_back(RI);
+          const std::vector<std::int64_t> *Values =
+              P.indexArrayValues(IRef.IndexArray);
+          assert(Values && "indexed reference without index array contents");
+          AccessRequest RD;
+          RD.VA = Map.vaOfFlat(
+              IRef.DataArray,
+              (*Values)[P.array(IRef.IndexArray).linearize(IndexVec)]);
+          RD.IsWrite = IRef.IsWrite;
+          RD.Transformed = Map.isTransformed(IRef.DataArray);
+          Out.push_back(RD);
+        }
+      } while (Space.nextIteration(Iter));
+    }
+  }
+  return Out;
+}
+
+void expectStreamsMatch(const AddressMap &Map, unsigned NumThreads) {
+  for (unsigned Tid : {0u, 1u, NumThreads - 1}) {
+    std::vector<AccessRequest> Expected =
+        referenceStream(Map, Tid, NumThreads);
+    ThreadStream Stream(Map, Tid, NumThreads);
+    AccessRequest Got;
+    for (std::size_t I = 0; I < Expected.size(); ++I) {
+      ASSERT_TRUE(Stream.next(Got))
+          << "stream ended early at access " << I << " (thread " << Tid << ")";
+      ASSERT_EQ(Got.VA, Expected[I].VA)
+          << "VA diverged at access " << I << " (thread " << Tid << ")";
+      ASSERT_EQ(Got.IsWrite, Expected[I].IsWrite) << "access " << I;
+      ASSERT_EQ(Got.Transformed, Expected[I].Transformed) << "access " << I;
+    }
+    EXPECT_FALSE(Stream.next(Got)) << "stream too long (thread " << Tid << ")";
+    EXPECT_EQ(Stream.generated(), Expected.size());
+  }
+}
+
+struct StreamFixture {
+  AppModel App;
+  // Customized layouts keep a pointer to the mapping; it must outlive Plan.
+  // Built only for optimized plans (some configs under test have no valid
+  // cluster grid).
+  std::unique_ptr<ClusterMapping> Mapping;
+  LayoutPlan Plan;
+  VirtualMemory VM;
+  AddressMap Map;
+
+  StreamFixture(const std::string &Name, const MachineConfig &Config,
+                bool Optimize)
+      : App(buildApp(Name, 0.25)),
+        Mapping(Optimize ? std::make_unique<ClusterMapping>(
+                               makeM1Mapping(Config))
+                         : nullptr),
+        Plan(Optimize
+                 ? LayoutTransformer(*Mapping, Config.layoutOptions())
+                       .run(App.Program)
+                 : LayoutTransformer::originalPlan(App.Program)),
+        VM(vmConfig(Config), Config.PagePolicy),
+        Map(App.Program, Plan, VM, Config) {}
+
+  static VmConfig vmConfig(const MachineConfig &C) {
+    VmConfig VC;
+    VC.PageBytes = C.PageBytes;
+    VC.NumMCs = C.NumMCs;
+    VC.BytesPerMC = C.BytesPerMC;
+    return VC;
+  }
+};
+
+} // namespace
+
+TEST(ThreadStreamEquivTest, RegularAppOriginalLayout) {
+  StreamFixture F("swim", MachineConfig::scaledDefault(), /*Optimize=*/false);
+  expectStreamsMatch(F.Map, 8);
+}
+
+TEST(ThreadStreamEquivTest, TransformedLayoutApp) {
+  // Customized layouts must take the general path every access; the
+  // equivalence still has to hold bit-for-bit.
+  StreamFixture F("swim", MachineConfig::scaledDefault(), /*Optimize=*/true);
+  expectStreamsMatch(F.Map, 8);
+}
+
+TEST(ThreadStreamEquivTest, IndexedApp) {
+  // gafort's indexed references interleave index-array reads with dependent
+  // data accesses between the affine fast-path slots.
+  StreamFixture F("gafort", MachineConfig::scaledDefault(),
+                  /*Optimize=*/false);
+  expectStreamsMatch(F.Map, 8);
+}
+
+TEST(ThreadStreamEquivTest, NonPowerOfTwoConfig) {
+  // Three MCs defeat every shift/mask decode in the VM and address-map base
+  // alignment; the stream must be unchanged relative to its own reference.
+  MachineConfig C = MachineConfig::scaledDefault();
+  C.NumMCs = 3;
+  StreamFixture F("swim", C, /*Optimize=*/false);
+  expectStreamsMatch(F.Map, 8);
+}
+
+//===----------------------------------------------------------------------===//
+// Non-power-of-two cache geometry (generic div/mod decode path)
+//===----------------------------------------------------------------------===//
+
+TEST(NonPow2CacheTest, BasicInvariantsHold) {
+  // 12 KB / 64 B / 2 ways = 96 sets: SetDiv falls back to hardware div/mod.
+  Cache C(12 * 1024, 64, 2);
+  SplitMix64 Rng(3);
+  std::vector<std::uint64_t> Lines;
+  for (int I = 0; I < 4096; ++I) {
+    std::uint64_t Line = C.lineOf(Rng.nextBelow(1ull << 30));
+    if (!C.access(Line, I % 3 == 0))
+      C.insert(Line, I % 3 == 0);
+    ASSERT_TRUE(C.contains(Line)) << "line lost right after insert";
+    Lines.push_back(Line);
+  }
+  unsigned Resident = 0;
+  for (std::uint64_t Line : Lines)
+    Resident += C.contains(Line) ? 1 : 0;
+  EXPECT_GT(Resident, 0u);
+  EXPECT_EQ(C.hits() + C.misses(), Lines.size());
+  C.invalidate(Lines.back());
+  EXPECT_FALSE(C.contains(Lines.back()));
+}

@@ -1,0 +1,32 @@
+# Runs a bench binary and byte-compares its stdout against a golden file.
+#
+# Usage (via add_test in tests/CMakeLists.txt):
+#   cmake -DBENCH=<path> -DARGS="--jobs;4;--apps;wupwise,swim"
+#         -DGOLDEN=<path> -P compare_bench.cmake
+#
+# The goldens pin the figure tables produced before the fast-path rewrites
+# (iterative routing, shift/mask decode, strength-reduced streams); any byte
+# of drift means a simulated result changed, which this PR must not do.
+
+if(NOT DEFINED BENCH OR NOT DEFINED GOLDEN)
+  message(FATAL_ERROR "compare_bench.cmake needs -DBENCH=... and -DGOLDEN=...")
+endif()
+if(NOT DEFINED ARGS)
+  set(ARGS "")
+endif()
+
+execute_process(
+  COMMAND ${BENCH} ${ARGS}
+  OUTPUT_VARIABLE ACTUAL
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "${BENCH} exited with ${RC}")
+endif()
+
+file(READ ${GOLDEN} EXPECTED)
+if(NOT ACTUAL STREQUAL EXPECTED)
+  file(WRITE ${GOLDEN}.actual "${ACTUAL}")
+  message(FATAL_ERROR
+    "output of ${BENCH} ${ARGS} differs from ${GOLDEN} "
+    "(actual written to ${GOLDEN}.actual)")
+endif()
