@@ -6,9 +6,14 @@
 /// transformed-layout fig14 run (general-path address computation), and the
 /// fig25 co-run (cache-line interleaving + multiprogrammed contention).
 ///
-/// Each workload is timed best-of --repeats with phase timers off (honest
-/// numbers), then run once more with MachineConfig::CollectPhaseTimes to
-/// attribute the time to stream generation, network, and DRAM. The report
+/// Each workload runs at --sim-threads 1 (the serial reference engine) and
+/// at 2/4/8 host threads through the conservative parallel engine; every
+/// parallel row is checked to produce the identical simulated result before
+/// it is reported. Timing per row is best/median/p95 over --repeats
+/// repetitions with phase timers off (honest numbers), then one more run
+/// with MachineConfig::CollectPhaseTimes attributes the time to stream
+/// generation, network, and DRAM (phase columns are corrected for the
+/// calibrated clock-read overhead; see support/HostClock.h). The report
 /// goes through the JSON sink; commit it as BENCH_perf.json. Compare
 /// against a baseline by building this bench at the baseline commit and
 /// diffing the `seconds` column (see EXPERIMENTS.md, "Performance
@@ -19,14 +24,18 @@
 #include "harness/BenchSuite.h"
 #include "harness/Experiment.h"
 #include "support/Format.h"
+#include "support/HostClock.h"
 #include "workloads/AppModel.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace offchip;
@@ -36,27 +45,57 @@ namespace {
 struct Workload {
   std::string Name;
   /// Runs the simulation once; \p Timed enables the phase timers.
-  std::function<SimResult(bool)> Run;
+  std::function<SimResult(bool, unsigned)> Run;
 };
 
 struct Measurement {
   double BestSeconds = 1e100;
-  SimResult Result;     // from the last untimed run
+  double MedianSeconds = 0.0;
+  double P95Seconds = 0.0;
+  SimResult Result;      // from the last untimed run
   SimResult TimedResult; // from the phase-timer run
 };
 
-Measurement measure(const Workload &W, unsigned Repeats) {
+/// Nearest-rank percentile of an unsorted sample set.
+double percentile(std::vector<double> Samples, double P) {
+  std::sort(Samples.begin(), Samples.end());
+  std::size_t N = Samples.size();
+  std::size_t Rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(P * static_cast<double>(N))));
+  return Samples[Rank - 1];
+}
+
+Measurement measure(const Workload &W, unsigned Repeats, unsigned SimThreads) {
   Measurement M;
+  std::vector<double> Samples;
+  Samples.reserve(Repeats);
   for (unsigned I = 0; I < Repeats; ++I) {
     auto T0 = std::chrono::steady_clock::now();
-    M.Result = W.Run(false);
+    M.Result = W.Run(false, SimThreads);
     double S = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              T0)
                    .count();
-    M.BestSeconds = std::min(M.BestSeconds, S);
+    Samples.push_back(S);
   }
-  M.TimedResult = W.Run(true);
+  M.BestSeconds = *std::min_element(Samples.begin(), Samples.end());
+  M.MedianSeconds = percentile(Samples, 0.5);
+  M.P95Seconds = percentile(Samples, 0.95);
+  M.TimedResult = W.Run(true, SimThreads);
   return M;
+}
+
+/// The fields a row reports (plus a few more) must not depend on
+/// --sim-threads; refuse to report a parallel row that diverges.
+bool sameSimulatedResult(const SimResult &A, const SimResult &B) {
+  return A.TotalAccesses == B.TotalAccesses && A.L1Hits == B.L1Hits &&
+         A.LocalL2Hits == B.LocalL2Hits && A.RemoteL2Hits == B.RemoteL2Hits &&
+         A.OffChipAccesses == B.OffChipAccesses &&
+         A.ExecutionCycles == B.ExecutionCycles &&
+         A.AccessLatency.sum() == B.AccessLatency.sum() &&
+         A.MemLatency.sum() == B.MemLatency.sum() &&
+         A.OffChipNetLatency.sum() == B.OffChipNetLatency.sum() &&
+         A.ThreadFinishCycles == B.ThreadFinishCycles &&
+         A.NodeToMCTraffic == B.NodeToMCTraffic;
 }
 
 } // namespace
@@ -65,13 +104,16 @@ int main(int Argc, char **Argv) {
   unsigned Repeats = 3;
   double Scale = 1.0;
   std::string OutPath;
+  bool SerialOnly = false;
   OptionsParser Parser(
       "bench_perf_hotpath",
       "Wall-clock throughput of fixed simulations (the BENCH_perf numbers)");
   Parser.value("--repeats", &Repeats,
-               "untimed repetitions per workload, best-of (default 3)");
+               "untimed repetitions per row; best/median/p95 (default 3)");
   Parser.value("--out", &OutPath,
                "write the JSON report to this file instead of stdout");
+  Parser.flag("--serial-only", &SerialOnly,
+              "skip the --sim-threads 2/4/8 rows (quick smoke)");
   Parser.custom(
       "--scale", "<S>",
       [&](const std::string &V) {
@@ -88,6 +130,9 @@ int main(int Argc, char **Argv) {
   }
   if (Repeats == 0)
     Repeats = 1;
+  // Run the one-time clock calibration now so it is not charged to the
+  // first timed workload.
+  (void)clockCalibration();
 
   MachineConfig PageCfg = MachineConfig::scaledDefault();
   PageCfg.Granularity = InterleaveGranularity::Page;
@@ -101,9 +146,10 @@ int main(int Argc, char **Argv) {
 
   // The fig25 swim+mgrid co-run: both apps share every node, cache-line
   // interleaving (the multiprogrammed contention case).
-  auto CoRun = [&](bool Timed) {
+  auto CoRun = [&](bool Timed, unsigned SimThreads) {
     MachineConfig C = LineCfg;
     C.CollectPhaseTimes = Timed;
+    C.SimThreads = SimThreads;
     std::vector<unsigned> AllNodes;
     for (unsigned T = 0; T < C.numNodes(); ++T)
       AllNodes.push_back(MLine.threadToNode(T));
@@ -122,9 +168,10 @@ int main(int Argc, char **Argv) {
   };
 
   auto Variant = [&](const AppModel &App, RunVariant V) {
-    return [&App, &PageCfg, &MPage, V](bool Timed) {
+    return [&App, &PageCfg, &MPage, V](bool Timed, unsigned SimThreads) {
       MachineConfig C = PageCfg;
       C.CollectPhaseTimes = Timed;
+      C.SimThreads = SimThreads;
       return runVariant(App, C, MPage, V);
     };
   };
@@ -135,6 +182,9 @@ int main(int Argc, char **Argv) {
       {"fig14-swim-opt", Variant(Swim, RunVariant::Optimized)},
       {"fig25-swim+mgrid", CoRun},
   };
+  std::vector<unsigned> SimThreadRows = {1, 2, 4, 8};
+  if (SerialOnly)
+    SimThreadRows = {1};
 
   std::string Capture;
   std::unique_ptr<OutputSink> Sink = makeJsonSink(&Capture);
@@ -143,8 +193,13 @@ int main(int Argc, char **Argv) {
               "(higher Macc/s is better; timings are host wall-clock)",
               PageCfg.summary());
   Sink->columns({{"workload", 18},
+                 {"sim_threads", 11},
                  {"seconds", 9},
+                 {"median_s", 9},
+                 {"p95_s", 9},
+                 {"repeats", 7},
                  {"macc_per_s", 11},
+                 {"speedup", 8},
                  {"accesses", 10},
                  {"exec_cycles", 12},
                  {"stream_s", 9},
@@ -153,29 +208,56 @@ int main(int Argc, char **Argv) {
                  {"timed_total_s", 13}});
 
   for (const Workload &W : Workloads) {
-    std::fprintf(stderr, "running %s (%u repeats)...\n", W.Name.c_str(),
-                 Repeats);
-    Measurement M = measure(W, Repeats);
-    double Macc = static_cast<double>(M.Result.TotalAccesses) /
-                  M.BestSeconds / 1e6;
-    const PhaseTimes &P = M.TimedResult.Phases;
-    Sink->row({W.Name, formatString("%.3f", M.BestSeconds),
-               formatString("%.2f", Macc),
-               formatString("%llu",
-                            (unsigned long long)M.Result.TotalAccesses),
-               formatString("%llu",
-                            (unsigned long long)M.Result.ExecutionCycles),
-               formatString("%.3f", P.StreamGenSeconds),
-               formatString("%.3f", P.NetworkSeconds),
-               formatString("%.3f", P.DramSeconds),
-               formatString("%.3f", P.TotalSeconds)});
-    std::fprintf(stderr, "  %.3f s  %.2f Macc/s\n", M.BestSeconds, Macc);
+    double SerialBest = 0.0;
+    SimResult SerialResult;
+    for (unsigned SimThreads : SimThreadRows) {
+      std::fprintf(stderr, "running %s x%u (%u repeats)...\n", W.Name.c_str(),
+                   SimThreads, Repeats);
+      Measurement M = measure(W, Repeats, SimThreads);
+      if (SimThreads == 1) {
+        SerialBest = M.BestSeconds;
+        SerialResult = M.Result;
+      } else if (!sameSimulatedResult(SerialResult, M.Result)) {
+        std::fprintf(stderr,
+                     "FATAL: %s diverged from the serial result at "
+                     "--sim-threads %u\n",
+                     W.Name.c_str(), SimThreads);
+        return 1;
+      }
+      double Macc = static_cast<double>(M.Result.TotalAccesses) /
+                    M.BestSeconds / 1e6;
+      const PhaseTimes &P = M.TimedResult.Phases;
+      Sink->row({W.Name, formatString("%u", SimThreads),
+                 formatString("%.3f", M.BestSeconds),
+                 formatString("%.3f", M.MedianSeconds),
+                 formatString("%.3f", M.P95Seconds),
+                 formatString("%u", Repeats),
+                 formatString("%.2f", Macc),
+                 formatString("%.2f", SerialBest / M.BestSeconds),
+                 formatString("%llu",
+                              (unsigned long long)M.Result.TotalAccesses),
+                 formatString("%llu",
+                              (unsigned long long)M.Result.ExecutionCycles),
+                 formatString("%.3f", P.StreamGenSeconds),
+                 formatString("%.3f", P.NetworkSeconds),
+                 formatString("%.3f", P.DramSeconds),
+                 formatString("%.3f", P.TotalSeconds)});
+      std::fprintf(stderr, "  %.3f s  %.2f Macc/s  (x%.2f vs serial)\n",
+                   M.BestSeconds, Macc, SerialBest / M.BestSeconds);
+    }
   }
   Sink->note(formatString(
-      "scale=%.2f repeats=%u; phase columns come from a separate run with "
-      "CollectPhaseTimes enabled (its clock reads inflate timed_total_s "
-      "above seconds)",
-      Scale, Repeats));
+      "scale=%.2f repeats=%u host_cores=%u; seconds/macc_per_s use the best "
+      "repeat, median_s/p95_s the nearest-rank percentiles; speedup is vs "
+      "the same workload's sim_threads=1 row; every sim_threads>1 row is "
+      "verified bit-identical to the serial result before reporting; phase "
+      "columns come from one extra run with CollectPhaseTimes enabled, "
+      "corrected for clock-read overhead by the support/HostClock "
+      "calibration (in parallel rows stream_s sums across worker threads); "
+      "sim_threads>1 rows can only beat the serial row when host_cores >= "
+      "sim_threads + 1 (workers plus the merger) — on fewer cores they "
+      "measure the engine's coordination overhead instead",
+      Scale, Repeats, std::thread::hardware_concurrency()));
   Sink->end();
 
   if (OutPath.empty()) {

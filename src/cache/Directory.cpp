@@ -7,6 +7,7 @@
 using namespace offchip;
 
 int Directory::findSharer(std::uint64_t LineAddr) const {
+  Ownership.assertHeld();
   const std::uint64_t *Mask = Lines.find(LineAddr);
   if (!Mask || *Mask == 0)
     return -1;
@@ -15,11 +16,13 @@ int Directory::findSharer(std::uint64_t LineAddr) const {
 }
 
 void Directory::addSharer(std::uint64_t LineAddr, unsigned Node) {
+  Ownership.assertHeld();
   assert(Node < NumNodes && "sharer out of range");
   Lines.refOrInsert(LineAddr) |= 1ull << Node;
 }
 
 void Directory::removeSharer(std::uint64_t LineAddr, unsigned Node) {
+  Ownership.assertHeld();
   assert(Node < NumNodes && "sharer out of range");
   // refOrInsert would insert on a miss; look up in place instead.
   std::uint64_t *Mask = Lines.find(LineAddr);

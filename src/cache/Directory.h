@@ -12,6 +12,7 @@
 #define OFFCHIP_CACHE_DIRECTORY_H
 
 #include "support/FlatMap.h"
+#include "support/Shard.h"
 
 #include <cassert>
 #include <cstdint>
@@ -42,9 +43,15 @@ public:
 
   std::uint64_t trackedLines() const { return Lines.size(); }
 
+  /// Debug ownership: the parallel engine binds the directory to the merger
+  /// thread so any worker-side lookup asserts (directory state is global and
+  /// must only be advanced in merged event order).
+  OwnerTag &ownership() { return Ownership; }
+
 private:
   unsigned NumNodes;
   FlatMap64 Lines;
+  OwnerTag Ownership;
 };
 
 } // namespace offchip

@@ -9,22 +9,28 @@ using namespace offchip;
 
 namespace {
 
-/// RAII accumulator for the opt-in per-call wall-clock timing.
+/// RAII accumulator for the opt-in per-call wall-clock timing. Counts the
+/// timed calls alongside the seconds so the reader can subtract the
+/// calibrated clock-read overhead (support/HostClock.h).
 class ScopedTimer {
 public:
-  ScopedTimer(bool Enabled, double &Accum) : Accum(Enabled ? &Accum : nullptr) {
+  ScopedTimer(bool Enabled, double &Accum, std::uint64_t &Calls)
+      : Accum(Enabled ? &Accum : nullptr), Calls(&Calls) {
     if (this->Accum)
       T0 = std::chrono::steady_clock::now();
   }
   ~ScopedTimer() {
-    if (Accum)
+    if (Accum) {
       *Accum += std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - T0)
                     .count();
+      ++*Calls;
+    }
   }
 
 private:
   double *Accum;
+  std::uint64_t *Calls;
   std::chrono::steady_clock::time_point T0;
 };
 
@@ -51,7 +57,7 @@ bool MemoryController::isRowHit(Bank &B, std::int64_t Row) const {
 
 DramAccessResult MemoryController::access(std::uint64_t PhysAddr,
                                           std::uint64_t Time) {
-  ScopedTimer Timer(TimeCalls, TimedSeconds);
+  ScopedTimer Timer(TimeCalls, TimedSeconds, TimedCalls);
   Bank &B = Banks[bankOf(PhysAddr)];
   std::int64_t Row = rowOf(PhysAddr);
 
@@ -79,7 +85,7 @@ DramAccessResult MemoryController::access(std::uint64_t PhysAddr,
 
 DramAccessResult MemoryController::accessIdeal(std::uint64_t PhysAddr,
                                                std::uint64_t Time) {
-  ScopedTimer Timer(TimeCalls, TimedSeconds);
+  ScopedTimer Timer(TimeCalls, TimedSeconds, TimedCalls);
   Bank &B = IdealBanks[bankOf(PhysAddr)];
   bool Hit = isRowHit(B, rowOf(PhysAddr));
   DramAccessResult R;
@@ -98,7 +104,7 @@ DramAccessResult MemoryController::accessIdeal(std::uint64_t PhysAddr,
 void MemoryController::writeback(std::uint64_t PhysAddr, std::uint64_t Time) {
   // A writeback occupies the bank like a read but nothing waits for it, so
   // it contributes to contention without queue-latency accounting.
-  ScopedTimer Timer(TimeCalls, TimedSeconds);
+  ScopedTimer Timer(TimeCalls, TimedSeconds, TimedCalls);
   Bank &B = Banks[bankOf(PhysAddr)];
   std::int64_t Row = rowOf(PhysAddr);
   std::uint64_t Start = std::max(Time, B.BusyUntil);
@@ -134,4 +140,5 @@ void MemoryController::reset() {
   TotalQueueCycles = 0;
   TotalServiceCycles = 0;
   TimedSeconds = 0.0;
+  TimedCalls = 0;
 }

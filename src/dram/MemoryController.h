@@ -94,8 +94,13 @@ public:
   void enableCallTiming() { TimeCalls = true; }
 
   /// Wall-clock seconds spent servicing requests; zero unless
-  /// enableCallTiming() was called.
+  /// enableCallTiming() was called. Raw accumulation — the caller subtracts
+  /// the calibrated clock-read overhead (support/HostClock.h) using
+  /// timedCalls().
   double timedSeconds() const { return TimedSeconds; }
+
+  /// Number of requests that were wrapped in clock reads.
+  std::uint64_t timedCalls() const { return TimedCalls; }
 
   /// Mean number of requests waiting in the bank queues over [0, Now), via
   /// Little's law (total wait cycles / elapsed cycles). Figure 18's
@@ -149,6 +154,7 @@ private:
   std::uint64_t TotalServiceCycles = 0;
   bool TimeCalls = false;
   double TimedSeconds = 0.0;
+  std::uint64_t TimedCalls = 0;
 };
 
 } // namespace offchip

@@ -229,6 +229,9 @@ BenchSuite::BenchSuite(std::string IdText, std::string ClaimText,
       AppFilter(appNames()) {
   Parser.value("--jobs", &JobsSetting,
                "parallel simulation jobs (default: one per hardware thread)");
+  Parser.value("--sim-threads", &SimThreadsSetting,
+               "host threads inside each simulation (default 1 = serial "
+               "reference engine; results are bit-identical for any value)");
   Parser.flag("--csv", &CsvRequested, "emit CSV instead of aligned tables");
   Parser.flag("--json", &JsonRequested, "emit a JSON report");
   Parser.custom("--apps", "<a,b,c>",
@@ -283,6 +286,8 @@ std::optional<int> BenchSuite::parseArgs(int Argc, char **Argv) {
     std::fprintf(stderr, "error: --csv and --json are mutually exclusive\n");
     return 2;
   }
+  if (SimThreadsSetting != 0)
+    Config.SimThreads = SimThreadsSetting;
   if (CsvRequested)
     Sink = makeCsvSink();
   else if (JsonRequested)

@@ -203,6 +203,7 @@ private:
   OptionsParser Parser;
 
   unsigned JobsSetting = 0; // 0 = hardware threads
+  unsigned SimThreadsSetting = 0; // 0 = keep the config's value
   bool CsvRequested = false;
   bool JsonRequested = false;
   std::string AppsArg;

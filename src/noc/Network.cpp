@@ -136,8 +136,10 @@ MessageResult Network::send(unsigned Src, unsigned Dst, unsigned Bytes,
   // Tail flit trails the head by Flits - 1 cycles once pipelined.
   std::uint64_t Arrival = Cur + (Flits - 1);
   ++Messages;
-  if (TimeCalls)
+  if (TimeCalls) {
     TimedSeconds += std::chrono::duration<double>(Clock::now() - T0).count();
+    ++TimedCalls;
+  }
   return {Arrival, Arrival - Time, Hops};
 }
 
@@ -159,4 +161,5 @@ void Network::reset() {
   Messages = 0;
   LinkBusyCycles = 0;
   TimedSeconds = 0.0;
+  TimedCalls = 0;
 }

@@ -89,8 +89,14 @@ public:
   void enableCallTiming() { TimeCalls = true; }
 
   /// Wall-clock seconds spent in send() since construction/reset; zero
-  /// unless enableCallTiming() was called.
+  /// unless enableCallTiming() was called. Raw accumulation — the caller
+  /// subtracts the calibrated clock-read overhead (support/HostClock.h)
+  /// using timedCalls().
   double timedSeconds() const { return TimedSeconds; }
+
+  /// Number of send() calls that were wrapped in clock reads; the basis for
+  /// the calibrated overhead correction.
+  std::uint64_t timedCalls() const { return TimedCalls; }
 
   /// Forgets all link occupancy and counters.
   void reset();
@@ -139,6 +145,7 @@ private:
   std::uint64_t LinkBusyCycles = 0;
   bool TimeCalls = false;
   double TimedSeconds = 0.0;
+  std::uint64_t TimedCalls = 0;
 };
 
 } // namespace offchip

@@ -2,8 +2,9 @@
 
 #include "sim/Engine.h"
 
+#include "sim/EngineImpl.h"
 #include "support/Error.h"
-#include "support/Random.h"
+#include "support/HostClock.h"
 
 #include <algorithm>
 #include <chrono>
@@ -27,6 +28,64 @@ offchip::partitionNodesForApps(const ClusterMapping &Mapping,
   return Out;
 }
 
+namespace {
+
+/// The serial reference loop: one packed-key heap over all threads, popped
+/// in (time, thread) order. The parallel engine reproduces this order
+/// exactly for every access that touches shared state.
+void runSerialLoop(Machine &M, const MachineConfig &Config,
+                   std::vector<EngineThread> &Threads, unsigned ThreadShift,
+                   SimResult &R, std::uint64_t &LastTime,
+                   double &StreamSeconds, std::uint64_t &StreamCalls) {
+  const std::uint64_t ThreadMask = (1ull << ThreadShift) - 1;
+  auto PackEvent = [ThreadShift](std::uint64_t Time, unsigned Thread) {
+    return (Time << ThreadShift) | Thread;
+  };
+  // A flat integer heap keeps the ~1 push/pop pair per simulated access off
+  // the struct-compare path.
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<std::uint64_t>>
+      Queue;
+  for (unsigned T = 0; T < Threads.size(); ++T)
+    // Stagger thread starts (OS scheduling jitter); identical streams
+    // otherwise march in lockstep and issue perfectly aligned miss bursts.
+    Queue.push(PackEvent((static_cast<std::uint64_t>(T) * 389) % 1024, T));
+
+  using Clock = std::chrono::steady_clock;
+  const bool Timing = Config.CollectPhaseTimes;
+
+  AccessRequest Req;
+  while (!Queue.empty()) {
+    std::uint64_t Packed = Queue.top();
+    Queue.pop();
+    std::uint64_t Time = Packed >> ThreadShift;
+    unsigned ThreadId = static_cast<unsigned>(Packed & ThreadMask);
+    EngineThread &T = Threads[ThreadId];
+    bool Has;
+    if (Timing) {
+      Clock::time_point T0 = Clock::now();
+      Has = T.Stream.next(Req);
+      StreamSeconds += std::chrono::duration<double>(Clock::now() - T0).count();
+      ++StreamCalls;
+    } else {
+      Has = T.Stream.next(Req);
+    }
+    if (!Has) {
+      T.Done = true;
+      T.FinishTime = Time;
+      LastTime = std::max(LastTime, Time);
+      continue;
+    }
+    std::uint64_t Done = M.access(T.Node, Req.VA, Req.IsWrite, Time, R);
+    std::uint64_t Next = Done + T.nextGap();
+    if (Req.Transformed)
+      Next += Config.TransformOverheadCycles;
+    Queue.push(PackEvent(Next, ThreadId));
+  }
+}
+
+} // namespace
+
 SimResult offchip::runSimulation(const std::vector<AppInstance> &Apps,
                                  const MachineConfig &Config,
                                  const ClusterMapping &Mapping,
@@ -44,34 +103,8 @@ SimResult offchip::runSimulation(const std::vector<AppInstance> &Apps,
       static_cast<std::size_t>(Config.numNodes()) * Config.NumMCs, 0);
 
   // Build address maps and thread streams.
-  struct Thread {
-    ThreadStream Stream;
-    unsigned Node;
-    unsigned App;
-    unsigned GapCycles;
-    /// Per-thread jitter source: real iterations do variable amounts of
-    /// work. Without it, identical streams phase-lock through the shared
-    /// queues and every iteration emits one synchronized 64-miss burst.
-    SplitMix64 Jitter;
-    std::uint64_t FinishTime = 0;
-    bool Done = false;
-
-    Thread(const AddressMap &Map, unsigned Id, unsigned NumThreads,
-           unsigned Node, unsigned App, unsigned GapCycles)
-        : Stream(Map, Id, NumThreads), Node(Node), App(App),
-          GapCycles(GapCycles),
-          Jitter(0x5eed0000ull + Id * 1000003ull + App) {}
-
-    /// Uniform in [Gap/2, 3*Gap/2]; mean == GapCycles.
-    std::uint64_t nextGap() {
-      if (GapCycles == 0)
-        return 0;
-      return GapCycles / 2 + Jitter.nextBelow(GapCycles + 1);
-    }
-  };
-
   std::vector<std::unique_ptr<AddressMap>> Maps;
-  std::vector<Thread> Threads;
+  std::vector<EngineThread> Threads;
   for (unsigned A = 0; A < Apps.size(); ++A) {
     const AppInstance &App = Apps[A];
     assert(App.Program && App.Plan && !App.Nodes.empty() &&
@@ -87,75 +120,38 @@ SimResult offchip::runSimulation(const std::vector<AppInstance> &Apps,
                            App.Nodes[T / Config.ThreadsPerCore], A, Gap);
   }
 
-  // Event loop: earliest-ready thread issues its next (blocking) access.
-  // Events are packed as (Time << ThreadShift) | Thread with Thread below
-  // 2^ThreadShift, which orders exactly like (Time, Thread) lexicographic —
-  // and since a thread has at most one queued event, keys are unique and
-  // the pop order is fully determined. A flat integer heap keeps the ~1
-  // push/pop pair per simulated access off the struct-compare path.
   const unsigned ThreadShift = [&] {
     unsigned S = 0;
     while ((1ull << S) < Threads.size())
       ++S;
     return S;
   }();
-  const std::uint64_t ThreadMask = (1ull << ThreadShift) - 1;
-  auto PackEvent = [ThreadShift](std::uint64_t Time, unsigned Thread) {
-    return (Time << ThreadShift) | Thread;
-  };
-  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
-                      std::greater<std::uint64_t>>
-      Queue;
-  for (unsigned T = 0; T < Threads.size(); ++T)
-    // Stagger thread starts (OS scheduling jitter); identical streams
-    // otherwise march in lockstep and issue perfectly aligned miss bursts.
-    Queue.push(PackEvent((static_cast<std::uint64_t>(T) * 389) % 1024, T));
 
   using Clock = std::chrono::steady_clock;
   const bool Timing = Config.CollectPhaseTimes;
   Clock::time_point RunStart;
-  double StreamSeconds = 0.0;
   if (Timing)
     RunStart = Clock::now();
 
   std::uint64_t LastTime = 0;
-  AccessRequest Req;
-  while (!Queue.empty()) {
-    std::uint64_t Packed = Queue.top();
-    Queue.pop();
-    std::uint64_t Time = Packed >> ThreadShift;
-    unsigned ThreadId = static_cast<unsigned>(Packed & ThreadMask);
-    Thread &T = Threads[ThreadId];
-    bool Has;
-    if (Timing) {
-      Clock::time_point T0 = Clock::now();
-      Has = T.Stream.next(Req);
-      StreamSeconds += std::chrono::duration<double>(Clock::now() - T0).count();
-    } else {
-      Has = T.Stream.next(Req);
-    }
-    if (!Has) {
-      T.Done = true;
-      T.FinishTime = Time;
-      LastTime = std::max(LastTime, Time);
-      continue;
-    }
-    std::uint64_t Done = M.access(T.Node, Req.VA, Req.IsWrite, Time, R);
-    std::uint64_t Next = Done + T.nextGap();
-    if (Req.Transformed)
-      Next += Config.TransformOverheadCycles;
-    Queue.push(PackEvent(Next, ThreadId));
-  }
+  double StreamSeconds = 0.0;
+  std::uint64_t StreamCalls = 0;
+  if (Config.SimThreads >= 2 && Threads.size() >= 2)
+    runParallelLoop(M, Config, Threads, ThreadShift, R, LastTime,
+                    StreamSeconds, StreamCalls);
+  else
+    runSerialLoop(M, Config, Threads, ThreadShift, R, LastTime, StreamSeconds,
+                  StreamCalls);
 
   R.ExecutionCycles = LastTime;
   R.ThreadFinishCycles.reserve(Threads.size());
-  for (const Thread &T : Threads)
+  for (const EngineThread &T : Threads)
     R.ThreadFinishCycles.push_back(T.FinishTime);
 
   if (Multi) {
     Multi->AppFinishCycles.assign(Apps.size(), 0);
     Multi->AppAccesses.assign(Apps.size(), 0);
-    for (const Thread &T : Threads) {
+    for (const EngineThread &T : Threads) {
       Multi->AppFinishCycles[T.App] =
           std::max(Multi->AppFinishCycles[T.App], T.FinishTime);
       Multi->AppAccesses[T.App] += T.Stream.generated();
@@ -164,9 +160,12 @@ SimResult offchip::runSimulation(const std::vector<AppInstance> &Apps,
 
   M.finalize(R, LastTime == 0 ? 1 : LastTime);
   if (Timing) {
-    R.Phases.StreamGenSeconds = StreamSeconds;
-    R.Phases.TotalSeconds =
-        std::chrono::duration<double>(Clock::now() - RunStart).count();
+    R.Phases.StreamGenSeconds =
+        correctedPhaseSeconds(StreamSeconds, StreamCalls);
+    R.Phases.TimedClockCalls += StreamCalls;
+    R.Phases.TotalSeconds = correctedTotalSeconds(
+        std::chrono::duration<double>(Clock::now() - RunStart).count(),
+        R.Phases.TimedClockCalls);
   }
   return R;
 }

@@ -1,0 +1,71 @@
+//===- sim/EngineImpl.h - Engine internals shared across loops --*- C++ -*-===//
+///
+/// \file
+/// State shared between the serial event loop (Engine.cpp) and the
+/// conservative parallel loop (ParallelEngine.cpp): the per-thread execution
+/// record and the packed event-key scheme. Internal to sim/; not installed.
+///
+/// Event keys pack (Time << ThreadShift) | ThreadId with ThreadId below
+/// 2^ThreadShift, which orders exactly like (Time, ThreadId) lexicographic.
+/// Every thread has at most one outstanding event, so keys are unique and a
+/// set of keys has one fully-determined pop order — the invariant both
+/// engines rely on for bit-identical results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_SIM_ENGINEIMPL_H
+#define OFFCHIP_SIM_ENGINEIMPL_H
+
+#include "sim/Engine.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace offchip {
+
+/// One simulated thread's execution state.
+struct EngineThread {
+  ThreadStream Stream;
+  unsigned Node;
+  unsigned App;
+  unsigned GapCycles;
+  /// Per-thread jitter source: real iterations do variable amounts of
+  /// work. Without it, identical streams phase-lock through the shared
+  /// queues and every iteration emits one synchronized 64-miss burst.
+  SplitMix64 Jitter;
+  std::uint64_t FinishTime = 0;
+  bool Done = false;
+
+  EngineThread(const AddressMap &Map, unsigned Id, unsigned NumThreads,
+               unsigned Node, unsigned App, unsigned GapCycles)
+      : Stream(Map, Id, NumThreads), Node(Node), App(App),
+        GapCycles(GapCycles),
+        Jitter(0x5eed0000ull + Id * 1000003ull + App) {}
+
+  /// Uniform in [Gap/2, 3*Gap/2]; mean == GapCycles. One draw per access,
+  /// in program order — the parallel engine's workers pre-draw the gap for
+  /// off-tile accesses so the merger never touches the jitter state.
+  std::uint64_t nextGap() {
+    if (GapCycles == 0)
+      return 0;
+    return GapCycles / 2 + Jitter.nextBelow(GapCycles + 1);
+  }
+};
+
+/// The conservative parallel event loop (ParallelEngine.cpp). Partitions
+/// the mesh into per-worker shards, advances tile-local work concurrently,
+/// and merges every access that reaches shared state in exact serial
+/// (time, thread) order — results are bit-identical to the serial loop by
+/// construction. Uses Config.SimThreads host threads (callers gate on
+/// SimThreads >= 2). Outputs mirror the serial loop: \p LastTime is the
+/// final finish cycle, \p StreamSeconds / \p StreamCalls accumulate the
+/// stream-generation phase timing (only when Config.CollectPhaseTimes).
+void runParallelLoop(Machine &M, const MachineConfig &Config,
+                     std::vector<EngineThread> &Threads, unsigned ThreadShift,
+                     SimResult &R, std::uint64_t &LastTime,
+                     double &StreamSeconds, std::uint64_t &StreamCalls);
+
+} // namespace offchip
+
+#endif // OFFCHIP_SIM_ENGINEIMPL_H

@@ -2,6 +2,8 @@
 
 #include "sim/Machine.h"
 
+#include "support/HostClock.h"
+
 using namespace offchip;
 
 Machine::Machine(const MachineConfig &Config, const ClusterMapping &Mapping,
@@ -63,24 +65,62 @@ unsigned Machine::mcForPhys(std::uint64_t PA) const {
 
 std::uint64_t Machine::access(unsigned Node, std::uint64_t VA, bool IsWrite,
                               std::uint64_t Time, SimResult &R) {
-  // The engine hands us accesses in ready-time order; everything this
-  // access sends happens at or after Time.
-  Net.advanceFloor(Time);
-  ++R.TotalAccesses;
   std::uint64_t T = Time + Config.L1LatencyCycles;
-  std::uint64_t L1Line = L1LineDiv.div(VA);
-  if (L1s[Node].access(L1Line, IsWrite)) {
+  if (l1Probe(Node, VA, IsWrite)) {
+    // The engine hands us accesses in ready-time order; everything this
+    // access sends happens at or after Time.
+    Net.advanceFloor(Time);
+    ++R.TotalAccesses;
     ++R.L1Hits;
     R.AccessLatency.addSample(static_cast<double>(T - Time));
     return T;
   }
+  if (localL2Eligible()) {
+    // PA == VA: the MC-select bits sit below the page offset, identity map.
+    std::uint64_t T2 = T + Config.L2LatencyCycles;
+    if (l2ProbeLocal(Node, VA, IsWrite)) {
+      Net.advanceFloor(Time);
+      ++R.TotalAccesses;
+      ++R.LocalL2Hits;
+      fillL1(Node, VA, IsWrite, T2);
+      R.AccessLatency.addSample(static_cast<double>(T2 - Time));
+      return T2;
+    }
+    return missAfterL2(Node, VA, IsWrite, Time, R);
+  }
+  return missAfterL1(Node, VA, IsWrite, Time, R);
+}
 
+std::uint64_t Machine::missAfterL1(unsigned Node, std::uint64_t VA,
+                                   bool IsWrite, std::uint64_t Time,
+                                   SimResult &R) {
+  Net.advanceFloor(Time);
+  ++R.TotalAccesses;
+  std::uint64_t T = Time + Config.L1LatencyCycles;
   std::uint64_t PA = physFor(VA, Node);
   std::uint64_t Done = Config.SharedL2 ? accessShared(Node, PA, IsWrite, T, R)
                                        : accessPrivate(Node, PA, IsWrite, T, R);
+  fillL1(Node, VA, IsWrite, Done);
+  R.AccessLatency.addSample(static_cast<double>(Done - Time));
+  return Done;
+}
 
-  // Fill the L1; dirty victims write back into the next level.
-  Cache::Eviction Ev = L1s[Node].insert(L1Line, IsWrite);
+std::uint64_t Machine::missAfterL2(unsigned Node, std::uint64_t VA,
+                                   bool IsWrite, std::uint64_t Time,
+                                   SimResult &R) {
+  Net.advanceFloor(Time);
+  ++R.TotalAccesses;
+  std::uint64_t T = Time + Config.L1LatencyCycles + Config.L2LatencyCycles;
+  std::uint64_t Done = privateMissTail(Node, VA, IsWrite, T, R);
+  fillL1(Node, VA, IsWrite, Done);
+  R.AccessLatency.addSample(static_cast<double>(Done - Time));
+  return Done;
+}
+
+void Machine::fillL1(unsigned Node, std::uint64_t VA, bool IsWrite,
+                     std::uint64_t Done) {
+  // Dirty victims write back into the next level.
+  Cache::Eviction Ev = L1s[Node].insert(L1LineDiv.div(VA), IsWrite);
   if (Ev.Valid && Ev.Dirty) {
     std::uint64_t VictimVA = Ev.LineAddr * Config.L1LineBytes;
     std::uint64_t VictimPA = physFor(VictimVA, Node);
@@ -95,8 +135,6 @@ std::uint64_t Machine::access(unsigned Node, std::uint64_t VA, bool IsWrite,
       L2s[Node].markDirty(VictimL2Line);
     }
   }
-  R.AccessLatency.addSample(static_cast<double>(Done - Time));
-  return Done;
 }
 
 std::uint64_t Machine::accessPrivate(unsigned Node, std::uint64_t PA,
@@ -108,7 +146,13 @@ std::uint64_t Machine::accessPrivate(unsigned Node, std::uint64_t PA,
     ++R.LocalL2Hits;
     return T;
   }
+  return privateMissTail(Node, PA, IsWrite, T, R);
+}
 
+std::uint64_t Machine::privateMissTail(unsigned Node, std::uint64_t PA,
+                                       bool IsWrite, std::uint64_t T,
+                                       SimResult &R) {
+  std::uint64_t Line = L2LineDiv.div(PA);
   // The optimal scheme of Section 2: every request is served by the
   // nearest MC over an uncontended route, and the redirection incurs no
   // additional bank-contention latency — the banks themselves still behave
@@ -267,9 +311,21 @@ void Machine::finalize(SimResult &R, std::uint64_t Now) const {
 
   R.Phases.Enabled = Config.CollectPhaseTimes;
   if (Config.CollectPhaseTimes) {
-    R.Phases.NetworkSeconds = Net.timedSeconds();
+    // Subtract the calibrated clock-read overhead: each timed call leaks
+    // ~one clock-read's worth of time into its accumulator, which at tens
+    // of millions of calls inflates the phases (and their sum) well past
+    // the untimed wall time.
+    R.Phases.NetworkSeconds =
+        correctedPhaseSeconds(Net.timedSeconds(), Net.timedCalls());
     R.Phases.DramSeconds = 0.0;
-    for (const MemoryController &MC : MCs)
-      R.Phases.DramSeconds += MC.timedSeconds();
+    R.Phases.TimedClockCalls = Net.timedCalls();
+    double DramRaw = 0.0;
+    std::uint64_t DramCalls = 0;
+    for (const MemoryController &MC : MCs) {
+      DramRaw += MC.timedSeconds();
+      DramCalls += MC.timedCalls();
+    }
+    R.Phases.DramSeconds = correctedPhaseSeconds(DramRaw, DramCalls);
+    R.Phases.TimedClockCalls += DramCalls;
   }
 }

@@ -51,6 +51,59 @@ public:
   std::uint64_t access(unsigned Node, std::uint64_t VA, bool IsWrite,
                        std::uint64_t Time, SimResult &R);
 
+  //===--------------------------------------------------------------------===//
+  // Split access pieces (the parallel engine's worker/merger boundary)
+  //
+  // access() composes these; the parallel engine (sim/ParallelEngine.cpp)
+  // calls the probe/fill pieces from shard workers — they touch only the
+  // node's own tile state — and routes everything that reaches shared state
+  // (network, directory, MCs, virtual memory) through missAfterL1/
+  // missAfterL2 on the merger thread, in exact serial event order.
+  //===--------------------------------------------------------------------===//
+
+  /// True when an L1 miss can be resolved against the node's own L2 without
+  /// touching shared state: private L2s and cache-line interleaving (where
+  /// translation is the identity, so no VM state is consulted).
+  bool localL2Eligible() const {
+    return !Config.SharedL2 &&
+           Config.Granularity == InterleaveGranularity::CacheLine;
+  }
+
+  /// Probes (and updates) node's L1. Touches only L1s[Node].
+  bool l1Probe(unsigned Node, std::uint64_t VA, bool IsWrite) {
+    return L1s[Node].access(L1LineDiv.div(VA), IsWrite);
+  }
+
+  /// Probes (and updates) the node's private L2 by physical address. Only
+  /// valid under localL2Eligible(). Touches only L2s[Node].
+  bool l2ProbeLocal(unsigned Node, std::uint64_t PA, bool IsWrite) {
+    assert(localL2Eligible() && "local L2 probe needs node-local addressing");
+    return L2s[Node].access(L2LineDiv.div(PA), IsWrite);
+  }
+
+  /// Fills the node's L1 with \p VA completing at \p Done; dirty victims
+  /// write back into the next level. Node-local under localL2Eligible();
+  /// touches the network / VM otherwise (merger-side there).
+  void fillL1(unsigned Node, std::uint64_t VA, bool IsWrite,
+              std::uint64_t Done);
+
+  /// Completes an access that missed the L1, for configurations where the
+  /// L1 miss immediately needs shared state (page-granularity translation
+  /// or a shared L2). \p Time is the access issue time. \returns the
+  /// completion cycle; fills the L1 and samples latency into \p R.
+  std::uint64_t missAfterL1(unsigned Node, std::uint64_t VA, bool IsWrite,
+                            std::uint64_t Time, SimResult &R);
+
+  /// Completes an access that missed both the L1 and the node's private L2
+  /// (localL2Eligible() configurations; \p VA == physical). \p Time is the
+  /// access issue time. \returns the completion cycle; fills both cache
+  /// levels and samples latency into \p R.
+  std::uint64_t missAfterL2(unsigned Node, std::uint64_t VA, bool IsWrite,
+                            std::uint64_t Time, SimResult &R);
+
+  /// Debug ownership of merger-only shared state (see OwnerTag).
+  OwnerTag &directoryOwnership() { return Dir.ownership(); }
+
   /// Fills the end-of-run memory-system statistics (queue occupancy, row-hit
   /// rate, page counters) into \p R given the final cycle \p Now.
   void finalize(SimResult &R, std::uint64_t Now) const;
@@ -65,6 +118,9 @@ private:
   /// Private-L2 flow past the L1 miss.
   std::uint64_t accessPrivate(unsigned Node, std::uint64_t PA, bool IsWrite,
                               std::uint64_t Time, SimResult &R);
+  /// Private-L2 flow past the local L2 miss (directory, DRAM, L2 fill).
+  std::uint64_t privateMissTail(unsigned Node, std::uint64_t PA, bool IsWrite,
+                                std::uint64_t Time, SimResult &R);
   /// Shared-L2 flow past the L1 miss.
   std::uint64_t accessShared(unsigned Node, std::uint64_t PA, bool IsWrite,
                              std::uint64_t Time, SimResult &R);

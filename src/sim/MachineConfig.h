@@ -77,6 +77,13 @@ struct MachineConfig {
   /// Simulated results are identical either way.
   bool CollectPhaseTimes = false;
 
+  /// Host threads used *inside* one simulation (--sim-threads). 1 is the
+  /// serial reference engine; >= 2 runs the conservative parallel engine
+  /// (sim/ParallelEngine.cpp), which produces bit-identical results by
+  /// construction. Deliberately absent from summary(): reports must be
+  /// byte-identical across values.
+  unsigned SimThreads = 1;
+
   unsigned numNodes() const { return MeshX * MeshY; }
   unsigned numThreads() const { return numNodes() * ThreadsPerCore; }
 

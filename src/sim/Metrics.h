@@ -38,6 +38,11 @@ struct PhaseTimes {
   double DramSeconds = 0.0;
   /// End-to-end wall time of the simulation.
   double TotalSeconds = 0.0;
+  /// Number of hot-path calls that were wrapped in clock reads. All phase
+  /// and total seconds above are already corrected by the calibrated
+  /// per-call clock overhead (support/HostClock.h); this records how many
+  /// corrections were applied.
+  std::uint64_t TimedClockCalls = 0;
 };
 
 /// Aggregated results of one simulation run.

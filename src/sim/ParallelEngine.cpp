@@ -1,0 +1,446 @@
+//===- sim/ParallelEngine.cpp - Conservative parallel event loop ----------===//
+///
+/// \file
+/// A deterministic parallel discrete-event engine for runSimulation
+/// (--sim-threads N). The mesh is partitioned into per-worker shards of
+/// contiguous node ids; each worker advances its tiles' threads through all
+/// *tile-local* work (L1 hits and, under cache-line interleaving with
+/// private L2s, local L2 hits — typically 75-85% of all accesses), while a
+/// single merger thread applies every access that reaches *shared* state
+/// (network links, directory, MCs, virtual memory) in exactly the
+/// (time, thread) packed-key order the serial engine uses.
+///
+/// Why the result is bit-identical to the serial loop by construction:
+///
+///  - A tile-local access touches only the node's own L1/L2 and its
+///    threads' stream/jitter state. Any two accesses on different nodes
+///    commute, and a node's accesses are processed in the node's own key
+///    order (the node stalls while one of its accesses is in flight at the
+///    merger), so every per-node state machine sees the serial sequence.
+///  - Shared state is mutated only by the merger, which pops a global
+///    event only once no node can later deliver a smaller key (the
+///    lower-bound protocol below). Keys are unique — a thread has one
+///    outstanding event and thread ids break time ties — so "no smaller
+///    key" pins the exact serial order of network sends, directory walks,
+///    DRAM bank advances and first-touch translations.
+///  - The serial engine raises the network's reclamation floor at every
+///    access; the merger raises it only at global ones. Reclamation is
+///    semantically transparent (a pruned interval can never affect a
+///    reservation at or above the floor), so link placements are identical.
+///  - Workers fold their local counters/latency samples into per-worker
+///    partial results, merged at the end. Every sample is an integer-valued
+///    double and the sums stay far below 2^53, so addition is exact and
+///    order-independent.
+///
+/// Lower-bound (LB) protocol — conservative, null-message free:
+///
+///  - LB[node] is an atomic lower bound on the key of any global event the
+///    node may still deliver. A running node publishes the minimum of its
+///    pending thread keys after each local step (monotone; a stale value is
+///    merely conservative). A node with no work left publishes infinity.
+///  - To ship a global event the worker publishes LB = the shipped key,
+///    then pushes the event (release), then leaves the node stalled — it
+///    will not touch the node or its LB again until it pops the matching
+///    resume (acquire). The SPSC handoffs therefore also carry the cache
+///    state the merger (or worker) is about to touch.
+///  - The merger pops the event heap while the top key is <= min over all
+///    LBs. Processing an event computes the thread's next key, stores
+///    LB[node] = min(next key, the node's other pending keys) — the merger
+///    is the only LB writer while the node is stalled — and sends the
+///    resume. The new LB is folded into the running minimum before the next
+///    pop, since the resumed node may now own the smallest bound.
+///
+/// Deadlock freedom: if the heap's top key exceeds the LB minimum, the
+/// argmin node is either running (its worker keeps advancing it, raising
+/// its LB or shipping the event that becomes the new top) or stalled (its
+/// event is already in the heap below the top — contradiction). Workers
+/// exit once all their nodes are drained; the merger exits when every
+/// worker has exited and the queues and heap are empty.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/EngineImpl.h"
+#include "support/Shard.h"
+#include "support/SpscQueue.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <queue>
+#include <thread>
+
+using namespace offchip;
+
+namespace {
+
+constexpr std::uint64_t InfKey = ~0ull;
+
+/// One access that must be applied to shared state, shipped worker->merger.
+struct GlobalEvent {
+  /// Packed (time, thread) key; thread id recoverable via the mask.
+  std::uint64_t Key = 0;
+  std::uint64_t VA = 0;
+  /// Minimum over the node's *other* pending keys at ship time: what the
+  /// node's bound becomes once this event is applied.
+  std::uint64_t NodeLBAfter = InfKey;
+  /// Pre-drawn compute gap plus any transform overhead: the thread's next
+  /// event fires at completion + ExtraCycles. Drawn worker-side, in program
+  /// order, so the merger never touches jitter state.
+  std::uint64_t ExtraCycles = 0;
+  bool IsWrite = false;
+};
+
+/// Merger -> worker: the stalled node's thread may re-enter the local loop
+/// with this next event key.
+struct Resume {
+  unsigned ThreadId = 0;
+  std::uint64_t NextKey = 0;
+};
+
+/// Per-node published lower bound; padded so neighbouring nodes' bounds
+/// (written by different threads) never share a cache line.
+struct alignas(64) PaddedKey {
+  std::atomic<std::uint64_t> V{InfKey};
+};
+
+/// One worker's scheduling state for one owned node.
+struct NodeState {
+  /// Pending event keys of the node's threads (<= ThreadsPerCore entries;
+  /// linear scans beat a heap at these sizes).
+  std::vector<std::uint64_t> Pending;
+  /// True while one of the node's accesses is in flight at the merger.
+  bool Stalled = false;
+
+  std::uint64_t minPending() const {
+    std::uint64_t Min = InfKey;
+    for (std::uint64_t K : Pending)
+      Min = std::min(Min, K);
+    return Min;
+  }
+
+  void removePending(std::uint64_t Key) {
+    for (std::size_t I = 0; I < Pending.size(); ++I) {
+      if (Pending[I] == Key) {
+        Pending[I] = Pending.back();
+        Pending.pop_back();
+        return;
+      }
+    }
+    assert(false && "key not pending");
+  }
+};
+
+struct Worker {
+  ShardRange Range;
+  SpscQueue<GlobalEvent> Events;  // worker -> merger
+  SpscQueue<Resume> Resumes;      // merger -> worker
+  std::vector<NodeState> Nodes;   // indexed by node - Range.Begin
+  /// Tile-local counters and latency samples, merged after join.
+  SimResult Partial;
+  double StreamSeconds = 0.0;
+  std::uint64_t StreamCalls = 0;
+  std::thread Thread;
+
+  explicit Worker(ShardRange R)
+      : Range(R), Events(R.size()), Resumes(R.size()), Nodes(R.size()) {}
+};
+
+class ParallelRun {
+public:
+  ParallelRun(Machine &M, const MachineConfig &Config,
+              std::vector<EngineThread> &Threads, unsigned ThreadShift)
+      : M(M), Config(Config), Threads(Threads), ThreadShift(ThreadShift),
+        ThreadMask((1ull << ThreadShift) - 1), LocalL2(M.localL2Eligible()),
+        Timing(Config.CollectPhaseTimes), LB(Config.numNodes()),
+        OwnerOf(Config.numNodes(), nullptr) {}
+
+  void run() {
+    unsigned NumNodes = Config.numNodes();
+
+    // Seed each node's pending set with the staggered initial events (same
+    // stagger as the serial loop) and publish the initial bounds — all
+    // before any worker starts, so the merger never reads an uninitialized
+    // bound.
+    std::vector<std::vector<std::uint64_t>> InitialPending(NumNodes);
+    for (unsigned T = 0; T < Threads.size(); ++T)
+      InitialPending[Threads[T].Node].push_back(
+          pack((static_cast<std::uint64_t>(T) * 389) % 1024, T));
+
+    std::vector<std::uint64_t> Weights(NumNodes);
+    for (unsigned N = 0; N < NumNodes; ++N)
+      Weights[N] = InitialPending[N].size();
+
+    // One shard per worker; the merger runs on the calling thread. With W
+    // workers requested but fewer weighted nodes, shardRanges returns fewer
+    // (never empty) ranges.
+    unsigned WantWorkers = Config.SimThreads - 1;
+    std::vector<ShardRange> Ranges = shardRanges(Weights, WantWorkers);
+    assert(!Ranges.empty() && "no threads to simulate");
+
+    Workers.reserve(Ranges.size());
+    for (ShardRange Range : Ranges) {
+      Workers.push_back(std::make_unique<Worker>(Range));
+      Worker &W = *Workers.back();
+      for (unsigned N = Range.Begin; N < Range.End; ++N) {
+        NodeState &NS = W.Nodes[N - Range.Begin];
+        NS.Pending = std::move(InitialPending[N]);
+        LB[N].V.store(NS.minPending(), std::memory_order_relaxed);
+        OwnerOf[N] = &W;
+      }
+    }
+
+    // The directory (like all shared state) may only be advanced by the
+    // merger; bind it so a stray worker-side lookup asserts in debug.
+    M.directoryOwnership().bindToCurrentThread();
+
+    WorkersLive.store(static_cast<unsigned>(Workers.size()),
+                      std::memory_order_relaxed);
+    for (std::unique_ptr<Worker> &W : Workers)
+      W->Thread = std::thread([this, &W] { workerLoop(*W); });
+
+    mergerLoop();
+
+    for (std::unique_ptr<Worker> &W : Workers)
+      W->Thread.join();
+    M.directoryOwnership().release();
+  }
+
+  void collect(SimResult &R, std::uint64_t &LastTime, double &StreamSeconds,
+               std::uint64_t &StreamCalls) {
+    for (const EngineThread &T : Threads)
+      LastTime = std::max(LastTime, T.FinishTime);
+    for (std::unique_ptr<Worker> &W : Workers) {
+      R.TotalAccesses += W->Partial.TotalAccesses;
+      R.L1Hits += W->Partial.L1Hits;
+      R.LocalL2Hits += W->Partial.LocalL2Hits;
+      R.AccessLatency.merge(W->Partial.AccessLatency);
+      StreamSeconds += W->StreamSeconds;
+      StreamCalls += W->StreamCalls;
+    }
+  }
+
+private:
+  std::uint64_t pack(std::uint64_t Time, unsigned Thread) const {
+    return (Time << ThreadShift) | Thread;
+  }
+
+  void workerLoop(Worker &W) {
+    using Clock = std::chrono::steady_clock;
+    AccessRequest Req;
+    for (;;) {
+      bool Progress = false;
+
+      // Un-stall nodes whose in-flight access the merger completed. The
+      // acquire pop also makes the merger's cache-state writes visible.
+      Resume Rs;
+      while (W.Resumes.tryPop(Rs)) {
+        unsigned Node = Threads[Rs.ThreadId].Node;
+        NodeState &NS = W.Nodes[Node - W.Range.Begin];
+        NS.Stalled = false;
+        NS.Pending.push_back(Rs.NextKey);
+        Progress = true;
+      }
+
+      bool AnyActive = false;
+      for (unsigned Node = W.Range.Begin; Node < W.Range.End; ++Node) {
+        NodeState &NS = W.Nodes[Node - W.Range.Begin];
+        if (NS.Stalled) {
+          AnyActive = true;
+          continue;
+        }
+        if (NS.Pending.empty())
+          continue;
+        Progress = true;
+        // Run-to-block: advance the node's threads in key order until an
+        // access needs shared state or the node drains.
+        while (!NS.Pending.empty()) {
+          std::uint64_t Key = NS.minPending();
+          NS.removePending(Key);
+          std::uint64_t Time = Key >> ThreadShift;
+          unsigned Tid = static_cast<unsigned>(Key & ThreadMask);
+          EngineThread &T = Threads[Tid];
+
+          bool Has;
+          if (Timing) {
+            Clock::time_point T0 = Clock::now();
+            Has = T.Stream.next(Req);
+            W.StreamSeconds +=
+                std::chrono::duration<double>(Clock::now() - T0).count();
+            ++W.StreamCalls;
+          } else {
+            Has = T.Stream.next(Req);
+          }
+          if (!Has) {
+            // Thread finish touches nothing shared; handled tile-locally.
+            T.Done = true;
+            T.FinishTime = Time;
+            continue;
+          }
+
+          std::uint64_t T1 = Time + Config.L1LatencyCycles;
+          if (M.l1Probe(T.Node, Req.VA, Req.IsWrite)) {
+            ++W.Partial.TotalAccesses;
+            ++W.Partial.L1Hits;
+            W.Partial.AccessLatency.addSample(
+                static_cast<double>(T1 - Time));
+            NS.Pending.push_back(pack(nextTime(T, T1, Req), Tid));
+            continue;
+          }
+          if (LocalL2) {
+            std::uint64_t T2 = T1 + Config.L2LatencyCycles;
+            if (M.l2ProbeLocal(T.Node, Req.VA, Req.IsWrite)) {
+              ++W.Partial.TotalAccesses;
+              ++W.Partial.LocalL2Hits;
+              M.fillL1(T.Node, Req.VA, Req.IsWrite, T2);
+              W.Partial.AccessLatency.addSample(
+                  static_cast<double>(T2 - Time));
+              NS.Pending.push_back(pack(nextTime(T, T2, Req), Tid));
+              continue;
+            }
+          }
+
+          // Off-tile: ship to the merger and stall the node. Publish the
+          // bound before the push so the merger can never see the event
+          // with a larger-than-shipped bound; the release push carries the
+          // node's cache state to the merger.
+          GlobalEvent E;
+          E.Key = Key;
+          E.VA = Req.VA;
+          E.NodeLBAfter = NS.minPending();
+          E.ExtraCycles = T.nextGap();
+          if (Req.Transformed)
+            E.ExtraCycles += Config.TransformOverheadCycles;
+          E.IsWrite = Req.IsWrite;
+          NS.Stalled = true;
+          LB[T.Node].V.store(Key, std::memory_order_relaxed);
+          W.Events.push(E);
+          break;
+        }
+        if (!NS.Stalled) {
+          // Publish the node's new bound (or infinity once drained). Stale
+          // readers see the old, smaller bound — conservative.
+          LB[Node].V.store(NS.minPending(), std::memory_order_relaxed);
+          if (!NS.Pending.empty())
+            AnyActive = true;
+        } else {
+          AnyActive = true;
+        }
+      }
+
+      if (!AnyActive && W.Resumes.empty())
+        break;
+      if (!Progress)
+        std::this_thread::yield();
+    }
+    WorkersLive.fetch_sub(1, std::memory_order_release);
+  }
+
+  void mergerLoop() {
+    // Payload slots per thread: a thread has at most one in-flight event,
+    // so the heap holds bare keys and the payload lives at [thread id].
+    struct Payload {
+      std::uint64_t VA = 0;
+      std::uint64_t NodeLBAfter = 0;
+      std::uint64_t ExtraCycles = 0;
+      bool IsWrite = false;
+    };
+    std::vector<Payload> Pay(Threads.size());
+    std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                        std::greater<std::uint64_t>>
+        Heap;
+    SimResult &R = MergedR;
+
+    for (;;) {
+      bool Drained = false;
+      for (std::unique_ptr<Worker> &W : Workers) {
+        GlobalEvent E;
+        while (W->Events.tryPop(E)) {
+          unsigned Tid = static_cast<unsigned>(E.Key & ThreadMask);
+          Pay[Tid] = {E.VA, E.NodeLBAfter, E.ExtraCycles, E.IsWrite};
+          Heap.push(E.Key);
+          Drained = true;
+        }
+      }
+      if (Heap.empty()) {
+        if (WorkersLive.load(std::memory_order_acquire) == 0 && !Drained)
+          break;
+        std::this_thread::yield();
+        continue;
+      }
+
+      std::uint64_t MinLB = InfKey;
+      for (PaddedKey &K : LB)
+        MinLB = std::min(MinLB, K.V.load(std::memory_order_relaxed));
+
+      bool Progress = false;
+      while (!Heap.empty() && Heap.top() <= MinLB) {
+        std::uint64_t Key = Heap.top();
+        Heap.pop();
+        std::uint64_t Time = Key >> ThreadShift;
+        unsigned Tid = static_cast<unsigned>(Key & ThreadMask);
+        const Payload &P = Pay[Tid];
+        EngineThread &T = Threads[Tid];
+
+        std::uint64_t Done =
+            LocalL2 ? M.missAfterL2(T.Node, P.VA, P.IsWrite, Time, R)
+                    : M.missAfterL1(T.Node, P.VA, P.IsWrite, Time, R);
+        std::uint64_t NextKey = pack(Done + P.ExtraCycles, Tid);
+        std::uint64_t NewLB = std::min(NextKey, P.NodeLBAfter);
+        // Sole LB writer while the node is stalled; the worker takes over
+        // again only after popping the resume below.
+        LB[T.Node].V.store(NewLB, std::memory_order_relaxed);
+        // The resumed node may now hold the smallest bound — fold it in so
+        // the next pop cannot run past it.
+        MinLB = std::min(MinLB, NewLB);
+        OwnerOf[T.Node]->Resumes.push({Tid, NextKey});
+        Progress = true;
+      }
+      if (!Progress && !Drained)
+        std::this_thread::yield();
+    }
+  }
+
+public:
+  /// Shared-state metrics accumulated by the merger; the caller's R.
+  SimResult MergedR;
+
+private:
+  Machine &M;
+  const MachineConfig &Config;
+  std::vector<EngineThread> &Threads;
+  unsigned ThreadShift;
+  std::uint64_t ThreadMask;
+  bool LocalL2;
+  bool Timing;
+  std::vector<PaddedKey> LB;
+  std::vector<Worker *> OwnerOf;
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::atomic<unsigned> WorkersLive{0};
+
+  std::uint64_t nextTime(EngineThread &T, std::uint64_t Done,
+                         const AccessRequest &Req) {
+    std::uint64_t Next = Done + T.nextGap();
+    if (Req.Transformed)
+      Next += Config.TransformOverheadCycles;
+    return Next;
+  }
+};
+
+} // namespace
+
+void offchip::runParallelLoop(Machine &M, const MachineConfig &Config,
+                              std::vector<EngineThread> &Threads,
+                              unsigned ThreadShift, SimResult &R,
+                              std::uint64_t &LastTime, double &StreamSeconds,
+                              std::uint64_t &StreamCalls) {
+  assert(Config.SimThreads >= 2 && Threads.size() >= 2 &&
+         "parallel loop needs work to split");
+  ParallelRun Run(M, Config, Threads, ThreadShift);
+  // The merger writes shared-state metrics into its own result and the
+  // caller's R already carries pre-sized vectors (NodeToMCTraffic), so the
+  // merger accumulates directly into R instead.
+  Run.MergedR = std::move(R);
+  Run.run();
+  R = std::move(Run.MergedR);
+  Run.collect(R, LastTime, StreamSeconds, StreamCalls);
+}

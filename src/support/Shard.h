@@ -1,0 +1,96 @@
+//===- support/Shard.h - Mesh shard partitioning ----------------*- C++ -*-===//
+///
+/// \file
+/// Helpers for splitting the mesh's nodes into per-worker shards for the
+/// parallel simulation engine. Shards are contiguous node-id ranges balanced
+/// by thread count, so a worker owns whole tiles (L1, private L2 slice and
+/// the threads bound to them) and all remaining state stays with the merger.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_SUPPORT_SHARD_H
+#define OFFCHIP_SUPPORT_SHARD_H
+
+#include <cassert>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace offchip {
+
+/// One worker's slice of the mesh: nodes [Begin, End).
+struct ShardRange {
+  unsigned Begin = 0;
+  unsigned End = 0;
+
+  unsigned size() const { return End - Begin; }
+  bool contains(unsigned Node) const { return Node >= Begin && Node < End; }
+};
+
+/// Splits \p Weights.size() nodes into at most \p NumShards contiguous
+/// ranges with near-equal total weight (weight = threads bound to the node,
+/// so multiprogrammed co-runs with several threads per node still balance).
+/// Nodes with zero weight are absorbed into a neighbouring range. Returns
+/// fewer ranges when there are fewer weighted nodes than shards; never
+/// returns an empty range.
+inline std::vector<ShardRange>
+shardRanges(const std::vector<std::uint64_t> &Weights, unsigned NumShards) {
+  assert(NumShards > 0 && "need at least one shard");
+  unsigned N = static_cast<unsigned>(Weights.size());
+  std::uint64_t Total = 0;
+  for (std::uint64_t W : Weights)
+    Total += W;
+
+  std::vector<ShardRange> Out;
+  if (N == 0 || Total == 0)
+    return Out;
+
+  // Greedy prefix cuts at multiples of Total/NumShards: shard k ends at the
+  // first node whose cumulative weight reaches (k+1)/NumShards of the total.
+  std::uint64_t Acc = 0;
+  unsigned Begin = 0;
+  for (unsigned Node = 0; Node < N; ++Node) {
+    Acc += Weights[Node];
+    unsigned K = static_cast<unsigned>(Out.size());
+    std::uint64_t Target = (Total * (K + 1) + NumShards - 1) / NumShards;
+    if (Acc >= Target && K + 1 < NumShards) {
+      Out.push_back({Begin, Node + 1});
+      Begin = Node + 1;
+    }
+  }
+  if (Begin < N)
+    Out.push_back({Begin, N});
+  assert(!Out.empty() && Out.back().End == N && "ranges must cover all nodes");
+  return Out;
+}
+
+/// Debug-build ownership tag for sliced state (directory slices, link
+/// calendars, MC queues). While bound, only the binding thread may touch the
+/// tagged state; every access asserts that. Unbound tags (the serial engine)
+/// accept any thread. Compiles to nothing in release builds.
+class OwnerTag {
+public:
+#ifndef NDEBUG
+  void bindToCurrentThread() {
+    Owner = std::this_thread::get_id();
+    Bound = true;
+  }
+  void release() { Bound = false; }
+  void assertHeld() const {
+    assert((!Bound || Owner == std::this_thread::get_id()) &&
+           "cross-shard access to owned state");
+  }
+
+private:
+  std::thread::id Owner;
+  bool Bound = false;
+#else
+  void bindToCurrentThread() {}
+  void release() {}
+  void assertHeld() const {}
+#endif
+};
+
+} // namespace offchip
+
+#endif // OFFCHIP_SUPPORT_SHARD_H

@@ -1,0 +1,90 @@
+//===- support/SpscQueue.h - Bounded single-producer ring -------*- C++ -*-===//
+///
+/// \file
+/// A fixed-capacity single-producer single-consumer ring buffer. The parallel
+/// simulation engine moves cross-shard events and resume notices through
+/// these: one producer thread pushes, one consumer thread pops, and the only
+/// synchronization is an acquire/release pair on the head/tail indices, so a
+/// transfer costs two atomic operations and no locks.
+///
+/// Capacity is fixed at construction and must be sized by the caller so that
+/// push() never meets a full ring (the engine bounds in-flight work per node;
+/// see ParallelEngine.cpp). tryPush() reports fullness instead of blocking,
+/// and the debug build asserts on overflow so sizing bugs surface loudly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_SUPPORT_SPSCQUEUE_H
+#define OFFCHIP_SUPPORT_SPSCQUEUE_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace offchip {
+
+template <typename T> class SpscQueue {
+public:
+  /// \p Capacity is rounded up to a power of two (index masking).
+  explicit SpscQueue(std::size_t Capacity) {
+    std::size_t C = 1;
+    while (C < Capacity)
+      C <<= 1;
+    Slots.resize(C);
+    Mask = C - 1;
+  }
+
+  SpscQueue(const SpscQueue &) = delete;
+  SpscQueue &operator=(const SpscQueue &) = delete;
+
+  /// Producer side. \returns false when the ring is full.
+  bool tryPush(const T &Value) {
+    std::size_t T0 = Tail.load(std::memory_order_relaxed);
+    std::size_t H = Head.load(std::memory_order_acquire);
+    if (T0 - H > Mask)
+      return false;
+    Slots[T0 & Mask] = Value;
+    // The release pairs with the consumer's acquire: the slot write above
+    // (and everything the producer did before it) is visible once the
+    // consumer observes the new tail.
+    Tail.store(T0 + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side; the ring must have room (engine-enforced bound).
+  void push(const T &Value) {
+    bool Ok = tryPush(Value);
+    (void)Ok;
+    assert(Ok && "SpscQueue overflow: capacity bound violated");
+  }
+
+  /// Consumer side. \returns false when the ring is empty.
+  bool tryPop(T &Out) {
+    std::size_t H = Head.load(std::memory_order_relaxed);
+    std::size_t T0 = Tail.load(std::memory_order_acquire);
+    if (H == T0)
+      return false;
+    Out = Slots[H & Mask];
+    Head.store(H + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness probe (racy by nature; used for idle checks).
+  bool empty() const {
+    return Head.load(std::memory_order_acquire) ==
+           Tail.load(std::memory_order_acquire);
+  }
+
+private:
+  std::vector<T> Slots;
+  std::size_t Mask = 0;
+  /// Separate cache lines: the producer writes Tail while the consumer
+  /// writes Head; sharing a line would bounce it on every transfer.
+  alignas(64) std::atomic<std::size_t> Head{0};
+  alignas(64) std::atomic<std::size_t> Tail{0};
+};
+
+} // namespace offchip
+
+#endif // OFFCHIP_SUPPORT_SPSCQUEUE_H

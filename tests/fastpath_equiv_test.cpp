@@ -141,6 +141,93 @@ TEST(FlatMap64Test, ReserveKeepsContents) {
   }
 }
 
+TEST(FlatMap64Test, EraseReusesSlotsWithoutGrowth) {
+  // Backward-shift deletion leaves no tombstones, so churning the same keys
+  // forever must never trigger a rehash: capacity stays fixed while the
+  // same slots are reused.
+  FlatMap64 Map;
+  Map.reserve(256);
+  std::size_t Cap = Map.capacity();
+  for (int Round = 0; Round < 1000; ++Round) {
+    for (std::uint64_t K = 0; K < 100; ++K)
+      Map.refOrInsert(K + 1) = Round;
+    for (std::uint64_t K = 0; K < 100; ++K)
+      ASSERT_TRUE(Map.erase(K + 1));
+  }
+  EXPECT_EQ(Map.capacity(), Cap);
+  EXPECT_TRUE(Map.empty());
+}
+
+TEST(FlatMap64Test, EraseCompactsWraparoundChains) {
+  // Keys engineered to collide into one probe chain that wraps past the
+  // table end; erasing from the middle must keep every survivor reachable.
+  FlatMap64 Map(16);
+  ASSERT_EQ(Map.capacity(), 16u);
+  // Find 8 keys that all hash to the last two home slots of the table.
+  std::vector<std::uint64_t> Chain;
+  for (std::uint64_t K = 1; Chain.size() < 8 && K < 2000000; ++K) {
+    std::size_t Home =
+        static_cast<std::size_t>((K * 0x9E3779B97F4A7C15ull) >> 60);
+    if (Home >= 14)
+      Chain.push_back(K);
+  }
+  ASSERT_EQ(Chain.size(), 8u);
+  for (std::uint64_t K : Chain)
+    Map.refOrInsert(K) = K * 10;
+  // Erase every second key, front to back, then verify the rest.
+  for (std::size_t I = 0; I < Chain.size(); I += 2)
+    ASSERT_TRUE(Map.erase(Chain[I]));
+  for (std::size_t I = 0; I < Chain.size(); ++I) {
+    const std::uint64_t *V = Map.find(Chain[I]);
+    if (I % 2 == 0) {
+      EXPECT_EQ(V, nullptr);
+    } else {
+      ASSERT_NE(V, nullptr);
+      EXPECT_EQ(*V, Chain[I] * 10);
+    }
+  }
+}
+
+TEST(FlatMap64Test, NonPowerOfTwoReserveRoundsUp) {
+  // reserve(N) must provision for N entries below the 0.7 load factor even
+  // for awkward N; inserting exactly N entries then must not rehash.
+  for (std::size_t N : {3u, 100u, 1000u, 4097u}) {
+    FlatMap64 M;
+    M.reserve(N);
+    std::size_t Cap = M.capacity();
+    EXPECT_TRUE((Cap & (Cap - 1)) == 0) << "capacity must stay a power of two";
+    EXPECT_GT(Cap * 7, N * 10) << "reserve(" << N << ") under-provisioned";
+    for (std::uint64_t K = 0; K < N; ++K)
+      M.refOrInsert(K * 7 + 1) = K;
+    EXPECT_EQ(M.capacity(), Cap) << "reserve(" << N << ") still rehashed";
+    EXPECT_EQ(M.size(), N);
+  }
+}
+
+TEST(FlatMap64Test, ForEachAfterGrowthVisitsEachEntryOnce) {
+  // Start tiny, force several rehashes, interleave erases, then check
+  // forEach enumerates exactly the surviving set.
+  FlatMap64 Map(16);
+  std::vector<bool> Alive(5000, false);
+  for (std::uint64_t K = 0; K < 5000; ++K) {
+    Map.refOrInsert(K + 1) = K;
+    Alive[K] = true;
+    if (K % 3 == 0) {
+      Map.erase(K / 2 + 1);
+      Alive[K / 2] = false;
+    }
+  }
+  std::vector<unsigned> Seen(5000, 0);
+  Map.forEach([&](std::uint64_t K, std::uint64_t V) {
+    ASSERT_GE(K, 1u);
+    ASSERT_LE(K, 5000u);
+    ASSERT_EQ(V, K - 1);
+    ++Seen[K - 1];
+  });
+  for (std::uint64_t K = 0; K < 5000; ++K)
+    ASSERT_EQ(Seen[K], Alive[K] ? 1u : 0u) << "key " << K + 1;
+}
+
 //===----------------------------------------------------------------------===//
 // Strength-reduced ThreadStream vs general-path reference walk
 //===----------------------------------------------------------------------===//

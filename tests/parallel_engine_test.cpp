@@ -1,0 +1,182 @@
+//===- tests/parallel_engine_test.cpp -------------------------------------===//
+///
+/// The conservative parallel engine (sim/ParallelEngine.cpp) promises
+/// results bit-identical to the serial reference loop for every machine
+/// configuration — not "statistically equivalent", the exact same
+/// SimResult. These tests run the same workload serially and at several
+/// --sim-threads settings and demand exact equality of every field,
+/// including the floating-point latency accumulators (which stay exact
+/// because every sample is an integer cycle count).
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "sim/Engine.h"
+#include "workloads/AppModel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace offchip;
+
+namespace {
+
+/// Exact equality over the full SimResult, with field-level diagnostics.
+void expectIdentical(const SimResult &A, const SimResult &B) {
+  EXPECT_EQ(A.ExecutionCycles, B.ExecutionCycles);
+  EXPECT_EQ(A.ThreadFinishCycles, B.ThreadFinishCycles);
+  EXPECT_EQ(A.TotalAccesses, B.TotalAccesses);
+  EXPECT_EQ(A.L1Hits, B.L1Hits);
+  EXPECT_EQ(A.LocalL2Hits, B.LocalL2Hits);
+  EXPECT_EQ(A.RemoteL2Hits, B.RemoteL2Hits);
+  EXPECT_EQ(A.OffChipAccesses, B.OffChipAccesses);
+
+  auto ExpectAccEq = [](const Accumulator &X, const Accumulator &Y,
+                        const char *Name) {
+    EXPECT_EQ(X.count(), Y.count()) << Name;
+    EXPECT_EQ(X.sum(), Y.sum()) << Name;
+    EXPECT_EQ(X.min(), Y.min()) << Name;
+    EXPECT_EQ(X.max(), Y.max()) << Name;
+  };
+  ExpectAccEq(A.OnChipNetLatency, B.OnChipNetLatency, "OnChipNetLatency");
+  ExpectAccEq(A.OffChipNetLatency, B.OffChipNetLatency, "OffChipNetLatency");
+  ExpectAccEq(A.MemLatency, B.MemLatency, "MemLatency");
+  ExpectAccEq(A.AccessLatency, B.AccessLatency, "AccessLatency");
+
+  auto ExpectHistEq = [](const IntHistogram &X, const IntHistogram &Y,
+                         const char *Name) {
+    EXPECT_EQ(X.total(), Y.total()) << Name;
+    unsigned Top = std::max(X.maxNonEmptyBucket(), Y.maxNonEmptyBucket());
+    for (unsigned I = 0; I <= Top; ++I)
+      EXPECT_EQ(X.countAt(I), Y.countAt(I)) << Name << " bucket " << I;
+  };
+  ExpectHistEq(A.OffNetLatencyHist, B.OffNetLatencyHist, "OffNetLatencyHist");
+  ExpectHistEq(A.OnChipMsgHops, B.OnChipMsgHops, "OnChipMsgHops");
+  ExpectHistEq(A.OffChipMsgHops, B.OffChipMsgHops, "OffChipMsgHops");
+
+  EXPECT_EQ(A.NumNodes, B.NumNodes);
+  EXPECT_EQ(A.NumMCs, B.NumMCs);
+  EXPECT_EQ(A.NodeToMCTraffic, B.NodeToMCTraffic);
+
+  EXPECT_EQ(A.AvgBankQueueOccupancy, B.AvgBankQueueOccupancy);
+  EXPECT_EQ(A.RowHitRate, B.RowHitRate);
+  EXPECT_EQ(A.PerMCQueueOccupancy, B.PerMCQueueOccupancy);
+  EXPECT_EQ(A.PerMCAccesses, B.PerMCAccesses);
+
+  EXPECT_EQ(A.RedirectedPages, B.RedirectedPages);
+  EXPECT_EQ(A.AllocatedPages, B.AllocatedPages);
+}
+
+/// Runs \p App on \p Config serially and at 2/3/8 sim threads and checks
+/// the results (and multiprogrammed outputs, where applicable) match.
+void checkVariantAcrossSimThreads(const char *AppName, MachineConfig Config,
+                                  RunVariant Variant) {
+  AppModel App = buildApp(AppName, /*SizeScale=*/0.1);
+  ClusterMapping M = makeM1Mapping(Config);
+  Config.SimThreads = 1;
+  SimResult Serial = runVariant(App, Config, M, Variant);
+  // 3 sim threads gives two unevenly sized worker shards; 8 exceeds what a
+  // small mesh can use and must degrade gracefully.
+  for (unsigned N : {2u, 3u, 8u}) {
+    Config.SimThreads = N;
+    SimResult Parallel = runVariant(App, Config, M, Variant);
+    SCOPED_TRACE(testing::Message() << AppName << " SimThreads=" << N);
+    expectIdentical(Serial, Parallel);
+  }
+}
+
+MachineConfig smallConfig() {
+  MachineConfig C = MachineConfig::scaledDefault();
+  C.MeshX = 4;
+  C.MeshY = 4;
+  return C;
+}
+
+} // namespace
+
+TEST(ParallelEngine, PrivateL2CacheLineIdentical) {
+  // The local-L2 fast path: workers resolve local L2 hits themselves.
+  MachineConfig C = smallConfig();
+  C.Granularity = InterleaveGranularity::CacheLine;
+  checkVariantAcrossSimThreads("swim", C, RunVariant::Original);
+}
+
+TEST(ParallelEngine, PageInterleavingIdentical) {
+  // Page granularity routes every L1 miss through the merger (VM state).
+  MachineConfig C = smallConfig();
+  C.Granularity = InterleaveGranularity::Page;
+  checkVariantAcrossSimThreads("swim", C, RunVariant::Original);
+}
+
+TEST(ParallelEngine, SharedL2Identical) {
+  MachineConfig C = smallConfig();
+  C.SharedL2 = true;
+  checkVariantAcrossSimThreads("mgrid", C, RunVariant::Original);
+}
+
+TEST(ParallelEngine, OptimizedVariantIdentical) {
+  // Transformed layouts exercise the general (non-strength-reduced) stream
+  // and the per-access transform overhead cycles.
+  MachineConfig C = smallConfig();
+  C.Granularity = InterleaveGranularity::Page;
+  checkVariantAcrossSimThreads("swim", C, RunVariant::Optimized);
+}
+
+TEST(ParallelEngine, OptimalSchemeIdentical) {
+  MachineConfig C = smallConfig();
+  C.Granularity = InterleaveGranularity::Page;
+  C.OptimalScheme = true;
+  checkVariantAcrossSimThreads("wupwise", C, RunVariant::Optimized);
+}
+
+TEST(ParallelEngine, ThreadsPerCoreIdentical) {
+  MachineConfig C = smallConfig();
+  C.ThreadsPerCore = 2;
+  checkVariantAcrossSimThreads("swim", C, RunVariant::Original);
+}
+
+TEST(ParallelEngine, TinyMeshMoreWorkersThanNodes) {
+  // 2x2 mesh: 4 nodes, up to 3 usable worker shards; --sim-threads 8 must
+  // still run (extra workers get no shard) and match exactly.
+  MachineConfig C = MachineConfig::scaledDefault();
+  C.MeshX = 2;
+  C.MeshY = 2;
+  checkVariantAcrossSimThreads("mgrid", C, RunVariant::Original);
+}
+
+TEST(ParallelEngine, MultiprogrammedCoRunIdentical) {
+  // Two apps sharing every node (the fig25 contention scenario), plus the
+  // per-app MultiRunOutputs.
+  MachineConfig C = smallConfig();
+  AppModel A = buildApp("swim", 0.1);
+  AppModel B = buildApp("mgrid", 0.1);
+  ClusterMapping M = makeM1Mapping(C);
+  std::vector<unsigned> AllNodes;
+  for (unsigned T = 0; T < C.numNodes(); ++T)
+    AllNodes.push_back(M.threadToNode(T));
+  LayoutPlan PA = LayoutTransformer::originalPlan(A.Program);
+  LayoutPlan PB = LayoutTransformer::originalPlan(B.Program);
+  AppInstance IA, IB;
+  IA.Program = &A.Program;
+  IA.Plan = &PA;
+  IA.Nodes = AllNodes;
+  IA.ComputeGapCycles = A.ComputeGapCycles;
+  IB.Program = &B.Program;
+  IB.Plan = &PB;
+  IB.Nodes = AllNodes;
+  IB.ComputeGapCycles = B.ComputeGapCycles;
+
+  C.SimThreads = 1;
+  MultiRunOutputs SerialMulti;
+  SimResult Serial = runSimulation({IA, IB}, C, M, &SerialMulti);
+  for (unsigned N : {2u, 4u}) {
+    C.SimThreads = N;
+    MultiRunOutputs Multi;
+    SimResult Parallel = runSimulation({IA, IB}, C, M, &Multi);
+    SCOPED_TRACE(testing::Message() << "SimThreads=" << N);
+    expectIdentical(Serial, Parallel);
+    EXPECT_EQ(SerialMulti.AppFinishCycles, Multi.AppFinishCycles);
+    EXPECT_EQ(SerialMulti.AppAccesses, Multi.AppAccesses);
+  }
+}

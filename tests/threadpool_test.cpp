@@ -49,6 +49,53 @@ TEST(ThreadPoolTest, ExceptionsRethrowFromGet) {
   EXPECT_THROW(Bad.get(), std::runtime_error);
 }
 
+TEST(ThreadPoolTest, PoolSurvivesTaskExceptions) {
+  // A throwing task must not kill its worker: the pool keeps executing
+  // later submissions on every thread.
+  ThreadPool Pool(2);
+  for (int Round = 0; Round < 8; ++Round) {
+    std::vector<std::future<int>> Bad;
+    for (int I = 0; I < 4; ++I)
+      Bad.push_back(
+          Pool.submit([]() -> int { throw std::runtime_error("boom"); }));
+    for (auto &F : Bad)
+      EXPECT_THROW(F.get(), std::runtime_error);
+    std::vector<std::future<int>> Good;
+    for (int I = 0; I < 8; ++I)
+      Good.push_back(Pool.submit([I] { return I + 100; }));
+    for (int I = 0; I < 8; ++I)
+      EXPECT_EQ(Good[I].get(), I + 100);
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentExceptionsStayDistinct) {
+  // Each future must carry its own exception object, not a shared one.
+  ThreadPool Pool(4);
+  std::vector<std::future<void>> Futures;
+  for (int I = 0; I < 16; ++I)
+    Futures.push_back(Pool.submit(
+        [I] { throw std::runtime_error("task " + std::to_string(I)); }));
+  for (int I = 0; I < 16; ++I) {
+    try {
+      Futures[I].get();
+      FAIL() << "future " << I << " did not throw";
+    } catch (const std::runtime_error &E) {
+      EXPECT_EQ(std::string(E.what()), "task " + std::to_string(I));
+    }
+  }
+}
+
+TEST(ThreadPoolTest, NonStdExceptionPropagates) {
+  ThreadPool Pool(1);
+  auto F = Pool.submit([] { throw 42; });
+  try {
+    F.get();
+    FAIL() << "expected the int to propagate";
+  } catch (int V) {
+    EXPECT_EQ(V, 42);
+  }
+}
+
 TEST(ThreadPoolTest, DestructorDrainsQueue) {
   std::atomic<int> Completed{0};
   {

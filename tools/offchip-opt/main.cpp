@@ -75,6 +75,9 @@ int main(int Argc, char **Argv) {
                "run original vs optimized on the scaled machine");
   Options.value("--jobs", &Jobs,
                 "worker threads for --simulate (0 = all cores)");
+  Options.value("--sim-threads", &Config.SimThreads,
+                "host threads inside each simulation (default 1 = serial "
+                "engine; results are bit-identical for any value)");
   Options.flag("--csv", &Csv, "print simulation results as CSV");
   Options.flag("--demo", &Demo, "run the built-in Figure 9 demo");
 
