@@ -167,11 +167,16 @@ int main(int Argc, char **Argv) {
     return runSimulation({A1, A2}, C, MLine, nullptr);
   };
 
-  auto Variant = [&](const AppModel &App, RunVariant V) {
-    return [&App, &PageCfg, &MPage, V](bool Timed, unsigned SimThreads) {
+  auto Variant = [&](const AppModel &App, RunVariant V, bool Traced = false) {
+    return [&App, &PageCfg, &MPage, V, Traced](bool Timed,
+                                               unsigned SimThreads) {
       MachineConfig C = PageCfg;
       C.CollectPhaseTimes = Timed;
       C.SimThreads = SimThreads;
+      // The -traced row: event collection on, in-memory sink only (no
+      // export I/O), so the delta vs the untraced row is the pure
+      // instrumentation overhead.
+      C.Trace.Enabled = Traced;
       return runVariant(App, C, MPage, V);
     };
   };
@@ -179,6 +184,7 @@ int main(int Argc, char **Argv) {
   std::vector<Workload> Workloads = {
       {"fig03-wupwise", Variant(Wupwise, RunVariant::Original)},
       {"fig03-swim", Variant(Swim, RunVariant::Original)},
+      {"fig03-swim-traced", Variant(Swim, RunVariant::Original, true)},
       {"fig14-swim-opt", Variant(Swim, RunVariant::Optimized)},
       {"fig25-swim+mgrid", CoRun},
   };
@@ -256,7 +262,10 @@ int main(int Argc, char **Argv) {
       "calibration (in parallel rows stream_s sums across worker threads); "
       "sim_threads>1 rows can only beat the serial row when host_cores >= "
       "sim_threads + 1 (workers plus the merger) — on fewer cores they "
-      "measure the engine's coordination overhead instead",
+      "measure the engine's coordination overhead instead; the -traced row "
+      "repeats its base workload with --trace collection into the in-memory "
+      "sink (no file export), so its slowdown vs the untraced row is the "
+      "tracing overhead",
       Scale, Repeats, std::thread::hardware_concurrency()));
   Sink->end();
 

@@ -2,6 +2,8 @@
 
 #include "dram/MemoryController.h"
 
+#include "trace/TraceSink.h"
+
 #include <algorithm>
 #include <chrono>
 
@@ -58,7 +60,8 @@ bool MemoryController::isRowHit(Bank &B, std::int64_t Row) const {
 DramAccessResult MemoryController::access(std::uint64_t PhysAddr,
                                           std::uint64_t Time) {
   ScopedTimer Timer(TimeCalls, TimedSeconds, TimedCalls);
-  Bank &B = Banks[bankOf(PhysAddr)];
+  unsigned BankIdx = bankOf(PhysAddr);
+  Bank &B = Banks[BankIdx];
   std::int64_t Row = rowOf(PhysAddr);
 
   std::uint64_t Start = std::max(Time, B.BusyUntil);
@@ -80,13 +83,21 @@ DramAccessResult MemoryController::access(std::uint64_t PhysAddr,
     ++RowHits;
   TotalQueueCycles += R.QueueCycles;
   TotalServiceCycles += Service;
+  if (Sink && Sink->sharedActive()) {
+    Sink->emitShared(TraceKind::MCEnqueue, Time,
+                     static_cast<std::uint32_t>(R.QueueCycles), PhysAddr, Id);
+    Sink->emitShared(TraceKind::BankService, Start,
+                     static_cast<std::uint32_t>(Service), PhysAddr,
+                     (Id << 16) | (BankIdx << 1) | (Hit ? 1u : 0u));
+  }
   return R;
 }
 
 DramAccessResult MemoryController::accessIdeal(std::uint64_t PhysAddr,
                                                std::uint64_t Time) {
   ScopedTimer Timer(TimeCalls, TimedSeconds, TimedCalls);
-  Bank &B = IdealBanks[bankOf(PhysAddr)];
+  unsigned BankIdx = bankOf(PhysAddr);
+  Bank &B = IdealBanks[BankIdx];
   bool Hit = isRowHit(B, rowOf(PhysAddr));
   DramAccessResult R;
   R.QueueCycles = 0;
@@ -98,6 +109,12 @@ DramAccessResult MemoryController::accessIdeal(std::uint64_t PhysAddr,
   if (Hit)
     ++RowHits;
   TotalServiceCycles += R.ServiceCycles;
+  if (Sink && Sink->sharedActive()) {
+    Sink->emitShared(TraceKind::MCEnqueue, Time, 0, PhysAddr, Id);
+    Sink->emitShared(TraceKind::BankService, Time,
+                     static_cast<std::uint32_t>(R.ServiceCycles), PhysAddr,
+                     (Id << 16) | (BankIdx << 1) | (Hit ? 1u : 0u));
+  }
   return R;
 }
 

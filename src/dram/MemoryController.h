@@ -26,6 +26,8 @@
 
 namespace offchip {
 
+class TraceSink;
+
 /// DRAM device timing in core cycles (DDR3-1600-class, Table 1).
 struct DramTiming {
   /// Row-buffer hit: CAS + burst (DDR3-1600 tCL ~ 14 ns at 2 GHz cores).
@@ -111,6 +113,13 @@ public:
   /// bank was busy; a utilization proxy.
   double bankUtilization(std::uint64_t Now) const;
 
+  /// Attaches the tracing sink. When set and a shared trace context is
+  /// open, access()/accessIdeal() emit one MCEnqueue (Aux = MC id, Dur =
+  /// queue-wait cycles) and one BankService (Aux = (MC id << 16) |
+  /// (bank << 1) | row-hit, Dur = service cycles) event. writeback() stays
+  /// silent so the traced request counts match SimResult::NodeToMCTraffic.
+  void setTraceSink(TraceSink *S) { Sink = S; }
+
   void reset();
 
 private:
@@ -155,6 +164,7 @@ private:
   bool TimeCalls = false;
   double TimedSeconds = 0.0;
   std::uint64_t TimedCalls = 0;
+  TraceSink *Sink = nullptr;
 };
 
 } // namespace offchip

@@ -232,6 +232,15 @@ BenchSuite::BenchSuite(std::string IdText, std::string ClaimText,
   Parser.value("--sim-threads", &SimThreadsSetting,
                "host threads inside each simulation (default 1 = serial "
                "reference engine; results are bit-identical for any value)");
+  Parser.flag("--trace", &TraceRequested,
+              "record a per-request trace for every simulation (writes "
+              "<prefix>.run<K>.trace.json and .series.csv; see --trace-out)");
+  Parser.value("--trace-out", &TraceOutPrefix,
+               "output path prefix for --trace files (default \"trace\")");
+  Parser.value("--trace-sample-cycles", &TraceSampleCycles,
+               "bucket width of the traced link/MC time series, in cycles");
+  Parser.value("--trace-max-events", &TraceMaxEvents,
+               "per-node trace event ring capacity (oldest dropped)");
   Parser.flag("--csv", &CsvRequested, "emit CSV instead of aligned tables");
   Parser.flag("--json", &JsonRequested, "emit a JSON report");
   Parser.custom("--apps", "<a,b,c>",
@@ -288,6 +297,13 @@ std::optional<int> BenchSuite::parseArgs(int Argc, char **Argv) {
   }
   if (SimThreadsSetting != 0)
     Config.SimThreads = SimThreadsSetting;
+  if (TraceRequested) {
+    Config.Trace.Enabled = true;
+    if (TraceSampleCycles != 0)
+      Config.Trace.SampleCycles = TraceSampleCycles;
+    if (TraceMaxEvents != 0)
+      Config.Trace.MaxEventsPerNode = TraceMaxEvents;
+  }
   if (CsvRequested)
     Sink = makeCsvSink();
   else if (JsonRequested)
@@ -359,6 +375,17 @@ SimFuture BenchSuite::run(std::shared_ptr<const AppModel> App,
                           const MachineConfig &C,
                           const ClusterMapping &Mapping, RunVariant Variant) {
   SimJob Job{std::move(App), C, Mapping, Variant};
+  if (Config.Trace.Enabled) {
+    // Stamp the suite's tracing settings onto the job with per-submission
+    // output paths: K counts submissions in program order, so file names
+    // are deterministic for any --jobs value.
+    unsigned K = TraceRunCounter++;
+    Job.Config.Trace = Config.Trace;
+    Job.Config.Trace.ChromeOutPath =
+        formatString("%s.run%u.trace.json", TraceOutPrefix.c_str(), K);
+    Job.Config.Trace.SeriesOutPath =
+        formatString("%s.run%u.series.csv", TraceOutPrefix.c_str(), K);
+  }
   return runner().submit(std::move(Job));
 }
 

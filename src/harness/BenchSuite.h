@@ -109,9 +109,17 @@ public:
   /// Registry for extra per-bench flags; register before parseArgs().
   OptionsParser &options() { return Parser; }
 
-  /// Parses the common bench flag set: --jobs N, --csv, --json, --apps
-  /// a,b,c and --help. \returns an exit code when the process should stop
-  /// (bad flags: 2, --help: 0), std::nullopt to continue.
+  /// Parses the common bench flag set: --jobs N, --sim-threads N, --csv,
+  /// --json, --apps a,b,c, the tracing flags (--trace, --trace-out,
+  /// --trace-sample-cycles, --trace-max-events) and --help. \returns an
+  /// exit code when the process should stop (bad flags: 2, --help: 0),
+  /// std::nullopt to continue.
+  ///
+  /// With --trace, every submitted simulation writes a Chrome trace and a
+  /// time-series CSV to "<prefix>.run<K>.trace.json" / ".series.csv",
+  /// where K counts submissions in order (deterministic for any --jobs).
+  /// Tracing writes nothing to the report sink, so stdout stays
+  /// byte-identical to an untraced run.
   std::optional<int> parseArgs(int Argc, char **Argv);
 
   //===--------------------------------------------------------------------===//
@@ -204,6 +212,11 @@ private:
 
   unsigned JobsSetting = 0; // 0 = hardware threads
   unsigned SimThreadsSetting = 0; // 0 = keep the config's value
+  bool TraceRequested = false;
+  std::string TraceOutPrefix = "trace";
+  unsigned TraceSampleCycles = 0;   // 0 = TraceConfig default
+  unsigned TraceMaxEvents = 0;      // 0 = TraceConfig default
+  unsigned TraceRunCounter = 0;
   bool CsvRequested = false;
   bool JsonRequested = false;
   std::string AppsArg;

@@ -2,6 +2,8 @@
 
 #include "noc/Network.h"
 
+#include "trace/TraceSink.h"
+
 #include <algorithm>
 #include <chrono>
 
@@ -112,8 +114,10 @@ MessageResult Network::send(unsigned Src, unsigned Dst, unsigned Bytes,
     int Step = East ? 1 : -1;
     unsigned N = East ? B.X - A.X : A.X - B.X;
     for (unsigned I = 0; I < N; ++I) {
-      Cur = Links[Node * 4 + Dir].reserve(Cur, Flits, Floor) +
-            Config.PerHopCycles;
+      std::uint64_t Booked = Links[Node * 4 + Dir].reserve(Cur, Flits, Floor);
+      if (Sink && Sink->sharedActive())
+        Sink->emitShared(TraceKind::NocHop, Booked, Flits, 0, Node * 4 + Dir);
+      Cur = Booked + Config.PerHopCycles;
       Node = static_cast<unsigned>(static_cast<int>(Node) + Step);
     }
     Hops += N;
@@ -125,8 +129,10 @@ MessageResult Network::send(unsigned Src, unsigned Dst, unsigned Bytes,
                      : -static_cast<int>(Topology.sizeX());
     unsigned N = South ? B.Y - A.Y : A.Y - B.Y;
     for (unsigned I = 0; I < N; ++I) {
-      Cur = Links[Node * 4 + Dir].reserve(Cur, Flits, Floor) +
-            Config.PerHopCycles;
+      std::uint64_t Booked = Links[Node * 4 + Dir].reserve(Cur, Flits, Floor);
+      if (Sink && Sink->sharedActive())
+        Sink->emitShared(TraceKind::NocHop, Booked, Flits, 0, Node * 4 + Dir);
+      Cur = Booked + Config.PerHopCycles;
       Node = static_cast<unsigned>(static_cast<int>(Node) + Step);
     }
     Hops += N;

@@ -27,6 +27,8 @@
 
 namespace offchip {
 
+class TraceSink;
+
 /// NoC timing/width parameters (Table 1 defaults).
 struct NocConfig {
   /// Cycles for the head flit to traverse one router + link.
@@ -98,6 +100,12 @@ public:
   /// the calibrated overhead correction.
   std::uint64_t timedCalls() const { return TimedCalls; }
 
+  /// Attaches the tracing sink. When set and a shared trace context is
+  /// open, every link reservation emits one NocHop event (Start = booked
+  /// cycle, Dur = flits, Aux = directed link id). sendIdeal() reserves
+  /// nothing and therefore traces nothing.
+  void setTraceSink(TraceSink *S) { Sink = S; }
+
   /// Forgets all link occupancy and counters.
   void reset();
 
@@ -146,6 +154,7 @@ private:
   bool TimeCalls = false;
   double TimedSeconds = 0.0;
   std::uint64_t TimedCalls = 0;
+  TraceSink *Sink = nullptr;
 };
 
 } // namespace offchip

@@ -5,6 +5,9 @@
 #include "sim/EngineImpl.h"
 #include "support/Error.h"
 #include "support/HostClock.h"
+#include "trace/ChromeExport.h"
+#include "trace/TimeSeries.h"
+#include "trace/TraceSink.h"
 
 #include <algorithm>
 #include <chrono>
@@ -33,10 +36,16 @@ namespace {
 /// The serial reference loop: one packed-key heap over all threads, popped
 /// in (time, thread) order. The parallel engine reproduces this order
 /// exactly for every access that touches shared state.
+///
+/// Uses the same split access pieces as the parallel workers (l1Probe /
+/// l2ProbeLocal / fillL1 / missAfterL1 / missAfterL2) so the two engines
+/// share every instrumentation point: with a TraceSink attached, both
+/// record the identical per-node event sequences (see trace/TraceEvent.h).
 void runSerialLoop(Machine &M, const MachineConfig &Config,
                    std::vector<EngineThread> &Threads, unsigned ThreadShift,
                    SimResult &R, std::uint64_t &LastTime,
-                   double &StreamSeconds, std::uint64_t &StreamCalls) {
+                   double &StreamSeconds, std::uint64_t &StreamCalls,
+                   TraceSink *Sink) {
   const std::uint64_t ThreadMask = (1ull << ThreadShift) - 1;
   auto PackEvent = [ThreadShift](std::uint64_t Time, unsigned Thread) {
     return (Time << ThreadShift) | Thread;
@@ -53,6 +62,7 @@ void runSerialLoop(Machine &M, const MachineConfig &Config,
 
   using Clock = std::chrono::steady_clock;
   const bool Timing = Config.CollectPhaseTimes;
+  const bool LocalL2 = M.localL2Eligible();
 
   AccessRequest Req;
   while (!Queue.empty()) {
@@ -76,11 +86,58 @@ void runSerialLoop(Machine &M, const MachineConfig &Config,
       LastTime = std::max(LastTime, Time);
       continue;
     }
-    std::uint64_t Done = M.access(T.Node, Req.VA, Req.IsWrite, Time, R);
-    std::uint64_t Next = Done + T.nextGap();
-    if (Req.Transformed)
-      Next += Config.TransformOverheadCycles;
-    Queue.push(PackEvent(Next, ThreadId));
+
+    auto NextKey = [&](std::uint64_t Done) {
+      std::uint64_t Next = Done + T.nextGap();
+      if (Req.Transformed)
+        Next += Config.TransformOverheadCycles;
+      return PackEvent(Next, ThreadId);
+    };
+
+    std::uint64_t T1 = Time + Config.L1LatencyCycles;
+    if (M.l1Probe(T.Node, Req.VA, Req.IsWrite)) {
+      if (Sink)
+        Sink->emit(T.Node, Packed, TraceKind::L1Hit, Time,
+                   Config.L1LatencyCycles, Req.VA, 0);
+      ++R.TotalAccesses;
+      ++R.L1Hits;
+      R.AccessLatency.addSample(static_cast<double>(T1 - Time));
+      Queue.push(NextKey(T1));
+      continue;
+    }
+    if (Sink)
+      Sink->emit(T.Node, Packed, TraceKind::L1Miss, Time,
+                 Config.L1LatencyCycles, Req.VA, 0);
+    std::uint64_t Done;
+    if (LocalL2) {
+      std::uint64_t T2 = T1 + Config.L2LatencyCycles;
+      if (M.l2ProbeLocal(T.Node, Req.VA, Req.IsWrite)) {
+        if (Sink)
+          Sink->emit(T.Node, Packed, TraceKind::L2Hit, T1,
+                     Config.L2LatencyCycles, Req.VA, T.Node);
+        ++R.TotalAccesses;
+        ++R.LocalL2Hits;
+        M.fillL1(T.Node, Req.VA, Req.IsWrite, T2);
+        if (Sink)
+          Sink->emit(T.Node, Packed, TraceKind::L1Fill, T2, 0, Req.VA, 0);
+        R.AccessLatency.addSample(static_cast<double>(T2 - Time));
+        Queue.push(NextKey(T2));
+        continue;
+      }
+      if (Sink) {
+        Sink->emit(T.Node, Packed, TraceKind::L2Miss, T1,
+                   Config.L2LatencyCycles, Req.VA, T.Node);
+        Sink->beginShared(T.Node, Packed);
+      }
+      Done = M.missAfterL2(T.Node, Req.VA, Req.IsWrite, Time, R);
+    } else {
+      if (Sink)
+        Sink->beginShared(T.Node, Packed);
+      Done = M.missAfterL1(T.Node, Req.VA, Req.IsWrite, Time, R);
+    }
+    if (Sink)
+      Sink->endShared();
+    Queue.push(NextKey(Done));
   }
 }
 
@@ -97,6 +154,16 @@ SimResult offchip::runSimulation(const std::vector<AppInstance> &Apps,
   VirtualMemory VM(VC, Config.PagePolicy);
 
   Machine M(Config, Mapping, VM);
+
+  // Tracing: one sink for the whole run, attached to the machine and its
+  // substrates. Created up front so both engine loops share it.
+  std::unique_ptr<TraceSink> Sink;
+  if (Config.Trace.Enabled) {
+    Sink = std::make_unique<TraceSink>(Config.Trace, Config.numNodes(),
+                                       Config.MeshX, Config.NumMCs,
+                                       M.mcNodes());
+    M.setTraceSink(Sink.get());
+  }
 
   SimResult R;
   R.NodeToMCTraffic.assign(
@@ -138,10 +205,10 @@ SimResult offchip::runSimulation(const std::vector<AppInstance> &Apps,
   std::uint64_t StreamCalls = 0;
   if (Config.SimThreads >= 2 && Threads.size() >= 2)
     runParallelLoop(M, Config, Threads, ThreadShift, R, LastTime,
-                    StreamSeconds, StreamCalls);
+                    StreamSeconds, StreamCalls, Sink.get());
   else
     runSerialLoop(M, Config, Threads, ThreadShift, R, LastTime, StreamSeconds,
-                  StreamCalls);
+                  StreamCalls, Sink.get());
 
   R.ExecutionCycles = LastTime;
   R.ThreadFinishCycles.reserve(Threads.size());
@@ -159,6 +226,20 @@ SimResult offchip::runSimulation(const std::vector<AppInstance> &Apps,
   }
 
   M.finalize(R, LastTime == 0 ? 1 : LastTime);
+
+  if (Sink) {
+    M.setTraceSink(nullptr);
+    auto Trace =
+        std::make_shared<TraceData>(Sink->take(ThreadShift));
+    // Exports are best-effort: a failed write must not change the run's
+    // result (callers can stat the files; stdout stays byte-identical).
+    if (!Trace->Config.ChromeOutPath.empty())
+      writeChromeTrace(*Trace, Trace->Config.ChromeOutPath);
+    if (!Trace->Config.SeriesOutPath.empty())
+      writeTimeSeriesCsv(*Trace, Trace->Config.SeriesOutPath);
+    R.Trace = std::move(Trace);
+  }
+
   if (Timing) {
     R.Phases.StreamGenSeconds =
         correctedPhaseSeconds(StreamSeconds, StreamCalls);

@@ -24,6 +24,8 @@
 
 namespace offchip {
 
+class TraceSink;
+
 /// One simulated thread's execution state.
 struct EngineThread {
   ThreadStream Stream;
@@ -61,10 +63,14 @@ struct EngineThread {
 /// SimThreads >= 2). Outputs mirror the serial loop: \p LastTime is the
 /// final finish cycle, \p StreamSeconds / \p StreamCalls accumulate the
 /// stream-generation phase timing (only when Config.CollectPhaseTimes).
+/// \p Sink, when non-null, receives the trace events; workers emit their
+/// tile-local probe events, the merger emits everything shared — per-node
+/// sequences identical to the serial loop's (see trace/TraceEvent.h).
 void runParallelLoop(Machine &M, const MachineConfig &Config,
                      std::vector<EngineThread> &Threads, unsigned ThreadShift,
                      SimResult &R, std::uint64_t &LastTime,
-                     double &StreamSeconds, std::uint64_t &StreamCalls);
+                     double &StreamSeconds, std::uint64_t &StreamCalls,
+                     TraceSink *Sink);
 
 } // namespace offchip
 

@@ -3,6 +3,7 @@
 #include "sim/Machine.h"
 
 #include "support/HostClock.h"
+#include "trace/TraceSink.h"
 
 using namespace offchip;
 
@@ -101,6 +102,11 @@ std::uint64_t Machine::missAfterL1(unsigned Node, std::uint64_t VA,
   std::uint64_t Done = Config.SharedL2 ? accessShared(Node, PA, IsWrite, T, R)
                                        : accessPrivate(Node, PA, IsWrite, T, R);
   fillL1(Node, VA, IsWrite, Done);
+  if (Sink && Sink->sharedActive()) {
+    Sink->emitShared(TraceKind::L1Fill, Done, 0, VA, 0);
+    Sink->emitShared(TraceKind::Complete, Time,
+                     static_cast<std::uint32_t>(Done - Time), VA, 0);
+  }
   R.AccessLatency.addSample(static_cast<double>(Done - Time));
   return Done;
 }
@@ -113,6 +119,11 @@ std::uint64_t Machine::missAfterL2(unsigned Node, std::uint64_t VA,
   std::uint64_t T = Time + Config.L1LatencyCycles + Config.L2LatencyCycles;
   std::uint64_t Done = privateMissTail(Node, VA, IsWrite, T, R);
   fillL1(Node, VA, IsWrite, Done);
+  if (Sink && Sink->sharedActive()) {
+    Sink->emitShared(TraceKind::L1Fill, Done, 0, VA, 0);
+    Sink->emitShared(TraceKind::Complete, Time,
+                     static_cast<std::uint32_t>(Done - Time), VA, 0);
+  }
   R.AccessLatency.addSample(static_cast<double>(Done - Time));
   return Done;
 }
@@ -142,7 +153,11 @@ std::uint64_t Machine::accessPrivate(unsigned Node, std::uint64_t PA,
                                      SimResult &R) {
   std::uint64_t T = Time + Config.L2LatencyCycles;
   std::uint64_t Line = L2LineDiv.div(PA);
-  if (L2s[Node].access(Line, IsWrite)) {
+  bool Hit = L2s[Node].access(Line, IsWrite);
+  if (Sink && Sink->sharedActive())
+    Sink->emitShared(Hit ? TraceKind::L2Hit : TraceKind::L2Miss, Time,
+                     Config.L2LatencyCycles, PA, Node);
+  if (Hit) {
     ++R.LocalL2Hits;
     return T;
   }
@@ -166,6 +181,9 @@ std::uint64_t Machine::privateMissTail(unsigned Node, std::uint64_t PA,
   MessageResult Req = Optimal
                           ? Net.sendIdeal(Node, DirNode, Config.RequestBytes, T)
                           : Net.send(Node, DirNode, Config.RequestBytes, T);
+  if (Sink && Sink->sharedActive())
+    Sink->emitShared(TraceKind::DirLookup, Req.ArrivalTime,
+                     Config.DirectoryLatencyCycles, PA, DirNode);
   T = Req.ArrivalTime + Config.DirectoryLatencyCycles;
 
   int Sharer = Dir.findSharer(Line);
@@ -173,6 +191,10 @@ std::uint64_t Machine::privateMissTail(unsigned Node, std::uint64_t PA,
     // On-chip access: forward to the sharing L2, which responds with data.
     MessageResult Fwd = Net.send(DirNode, static_cast<unsigned>(Sharer),
                                  Config.RequestBytes, T);
+    if (Sink && Sink->sharedActive())
+      Sink->emitShared(TraceKind::RemoteL2Hit, Fwd.ArrivalTime,
+                       Config.L2LatencyCycles, PA,
+                       static_cast<std::uint32_t>(Sharer));
     T = Fwd.ArrivalTime + Config.L2LatencyCycles;
     MessageResult Data = Net.send(static_cast<unsigned>(Sharer), Node,
                                   Config.L2LineBytes, T);
@@ -229,7 +251,11 @@ std::uint64_t Machine::accessShared(unsigned Node, std::uint64_t PA,
   MessageResult Req = Net.send(Node, Home, Config.RequestBytes, Time);
   std::uint64_t T = Req.ArrivalTime + Config.L2LatencyCycles;
 
-  if (L2s[Home].access(Line, IsWrite)) {
+  bool HomeHit = L2s[Home].access(Line, IsWrite);
+  if (Sink && Sink->sharedActive())
+    Sink->emitShared(HomeHit ? TraceKind::L2Hit : TraceKind::L2Miss,
+                     Req.ArrivalTime, Config.L2LatencyCycles, PA, Home);
+  if (HomeHit) {
     // Path 5: data back to the requesting L1.
     MessageResult Resp = Net.send(Home, Node, Config.L1LineBytes, T);
     T = Resp.ArrivalTime;

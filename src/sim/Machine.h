@@ -104,6 +104,17 @@ public:
   /// Debug ownership of merger-only shared state (see OwnerTag).
   OwnerTag &directoryOwnership() { return Dir.ownership(); }
 
+  /// Attaches the tracing sink to the machine and its substrates (network,
+  /// MCs). The shared-flow methods (missAfterL1/missAfterL2 and below) emit
+  /// lifecycle events through the sink's shared context when one is open;
+  /// the engines open it per access. Null detaches.
+  void setTraceSink(TraceSink *S) {
+    Sink = S;
+    Net.setTraceSink(S);
+    for (MemoryController &MC : MCs)
+      MC.setTraceSink(S);
+  }
+
   /// Fills the end-of-run memory-system statistics (queue occupancy, row-hit
   /// rate, page counters) into \p R given the final cycle \p Now.
   void finalize(SimResult &R, std::uint64_t Now) const;
@@ -142,6 +153,7 @@ private:
   std::vector<Cache> L1s;
   std::vector<Cache> L2s; // private slices or shared banks
   Directory Dir;          // private-L2 sharer tracking
+  TraceSink *Sink = nullptr;
   /// Nearest MC per node (optimal scheme, first-touch preference).
   std::vector<unsigned> NearestMCOfNode;
   /// First-touch preference: the nearest MC of the node's cluster.

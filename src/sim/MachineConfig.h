@@ -16,6 +16,7 @@
 #include "dram/MemoryController.h"
 #include "noc/Mesh.h"
 #include "noc/Network.h"
+#include "trace/TraceEvent.h"
 #include "vm/VirtualMemory.h"
 
 #include <string>
@@ -83,6 +84,12 @@ struct MachineConfig {
   /// construction. Deliberately absent from summary(): reports must be
   /// byte-identical across values.
   unsigned SimThreads = 1;
+
+  /// Tracing subsystem knobs (src/trace). Off by default; when enabled the
+  /// run's events and derived time series land in SimResult::Trace and
+  /// optionally on disk. Like SimThreads, deliberately absent from
+  /// summary(): tracing must not perturb any reported result.
+  TraceConfig Trace;
 
   unsigned numNodes() const { return MeshX * MeshY; }
   unsigned numThreads() const { return numNodes() * ThreadsPerCore; }

@@ -18,8 +18,10 @@
 #define OFFCHIP_SIM_METRICS_H
 
 #include "support/Stats.h"
+#include "trace/TraceEvent.h"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace offchip {
@@ -89,6 +91,11 @@ struct SimResult {
 
   // Wall-clock phase attribution (MachineConfig::CollectPhaseTimes).
   PhaseTimes Phases;
+
+  /// Collected trace (MachineConfig::Trace.Enabled); null otherwise.
+  /// Shared-const so copying a SimResult stays cheap and comparisons of
+  /// the value-typed metrics above are unaffected.
+  std::shared_ptr<const TraceData> Trace;
 
   /// Fraction of all data accesses that went off-chip (Figure 3).
   double offChipFraction() const {

@@ -62,6 +62,7 @@
 #include "sim/EngineImpl.h"
 #include "support/Shard.h"
 #include "support/SpscQueue.h"
+#include "trace/TraceSink.h"
 
 #include <atomic>
 #include <chrono>
@@ -148,10 +149,11 @@ struct Worker {
 class ParallelRun {
 public:
   ParallelRun(Machine &M, const MachineConfig &Config,
-              std::vector<EngineThread> &Threads, unsigned ThreadShift)
+              std::vector<EngineThread> &Threads, unsigned ThreadShift,
+              TraceSink *Sink)
       : M(M), Config(Config), Threads(Threads), ThreadShift(ThreadShift),
         ThreadMask((1ull << ThreadShift) - 1), LocalL2(M.localL2Eligible()),
-        Timing(Config.CollectPhaseTimes), LB(Config.numNodes()),
+        Timing(Config.CollectPhaseTimes), Sink(Sink), LB(Config.numNodes()),
         OwnerOf(Config.numNodes(), nullptr) {}
 
   void run() {
@@ -279,6 +281,9 @@ private:
 
           std::uint64_t T1 = Time + Config.L1LatencyCycles;
           if (M.l1Probe(T.Node, Req.VA, Req.IsWrite)) {
+            if (Sink)
+              Sink->emit(T.Node, Key, TraceKind::L1Hit, Time,
+                         Config.L1LatencyCycles, Req.VA, 0);
             ++W.Partial.TotalAccesses;
             ++W.Partial.L1Hits;
             W.Partial.AccessLatency.addSample(
@@ -286,17 +291,28 @@ private:
             NS.Pending.push_back(pack(nextTime(T, T1, Req), Tid));
             continue;
           }
+          if (Sink)
+            Sink->emit(T.Node, Key, TraceKind::L1Miss, Time,
+                       Config.L1LatencyCycles, Req.VA, 0);
           if (LocalL2) {
             std::uint64_t T2 = T1 + Config.L2LatencyCycles;
             if (M.l2ProbeLocal(T.Node, Req.VA, Req.IsWrite)) {
+              if (Sink)
+                Sink->emit(T.Node, Key, TraceKind::L2Hit, T1,
+                           Config.L2LatencyCycles, Req.VA, T.Node);
               ++W.Partial.TotalAccesses;
               ++W.Partial.LocalL2Hits;
               M.fillL1(T.Node, Req.VA, Req.IsWrite, T2);
+              if (Sink)
+                Sink->emit(T.Node, Key, TraceKind::L1Fill, T2, 0, Req.VA, 0);
               W.Partial.AccessLatency.addSample(
                   static_cast<double>(T2 - Time));
               NS.Pending.push_back(pack(nextTime(T, T2, Req), Tid));
               continue;
             }
+            if (Sink)
+              Sink->emit(T.Node, Key, TraceKind::L2Miss, T1,
+                         Config.L2LatencyCycles, Req.VA, T.Node);
           }
 
           // Off-tile: ship to the merger and stall the node. Publish the
@@ -381,9 +397,16 @@ private:
         const Payload &P = Pay[Tid];
         EngineThread &T = Threads[Tid];
 
+        // The node is stalled, so the merger owns its trace buffer: shared
+        // events land after the worker's probe events, exactly where the
+        // serial loop puts them.
+        if (Sink)
+          Sink->beginShared(T.Node, Key);
         std::uint64_t Done =
             LocalL2 ? M.missAfterL2(T.Node, P.VA, P.IsWrite, Time, R)
                     : M.missAfterL1(T.Node, P.VA, P.IsWrite, Time, R);
+        if (Sink)
+          Sink->endShared();
         std::uint64_t NextKey = pack(Done + P.ExtraCycles, Tid);
         std::uint64_t NewLB = std::min(NextKey, P.NodeLBAfter);
         // Sole LB writer while the node is stalled; the worker takes over
@@ -412,6 +435,7 @@ private:
   std::uint64_t ThreadMask;
   bool LocalL2;
   bool Timing;
+  TraceSink *Sink;
   std::vector<PaddedKey> LB;
   std::vector<Worker *> OwnerOf;
   std::vector<std::unique_ptr<Worker>> Workers;
@@ -432,10 +456,10 @@ void offchip::runParallelLoop(Machine &M, const MachineConfig &Config,
                               std::vector<EngineThread> &Threads,
                               unsigned ThreadShift, SimResult &R,
                               std::uint64_t &LastTime, double &StreamSeconds,
-                              std::uint64_t &StreamCalls) {
+                              std::uint64_t &StreamCalls, TraceSink *Sink) {
   assert(Config.SimThreads >= 2 && Threads.size() >= 2 &&
          "parallel loop needs work to split");
-  ParallelRun Run(M, Config, Threads, ThreadShift);
+  ParallelRun Run(M, Config, Threads, ThreadShift, Sink);
   // The merger writes shared-state metrics into its own result and the
   // caller's R already carries pre-sized vectors (NodeToMCTraffic), so the
   // merger accumulates directly into R instead.

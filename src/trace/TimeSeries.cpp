@@ -1,0 +1,340 @@
+//===- trace/TimeSeries.cpp -----------------------------------------------===//
+
+#include "trace/TimeSeries.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+using namespace offchip;
+
+namespace {
+
+unsigned manhattan(const TraceData &D, unsigned Node, unsigned MC) {
+  if (D.MeshX == 0 || MC >= D.MCNodes.size())
+    return 0;
+  unsigned Other = D.MCNodes[MC];
+  int AX = static_cast<int>(Node % D.MeshX), AY = static_cast<int>(Node / D.MeshX);
+  int BX = static_cast<int>(Other % D.MeshX), BY = static_cast<int>(Other / D.MeshX);
+  return static_cast<unsigned>(std::abs(AX - BX) + std::abs(AY - BY));
+}
+
+/// Nearest-rank percentile of a sorted sample vector.
+double percentileSorted(const std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  std::size_t N = Sorted.size();
+  double Rank = P * static_cast<double>(N);
+  std::size_t R = static_cast<std::size_t>(Rank);
+  if (static_cast<double>(R) < Rank)
+    ++R;
+  if (R == 0)
+    R = 1;
+  if (R > N)
+    R = N;
+  return Sorted[R - 1];
+}
+
+} // namespace
+
+std::string offchip::renderTimeSeriesCsv(const TraceData &D) {
+  std::string Out;
+  Out += "# offchip trace time-series dump (see trace/TimeSeries.h)\n";
+  auto Meta = [&Out](const std::string &K, std::uint64_t V) {
+    Out += "meta," + K + formatString(",%llu", (unsigned long long)V);
+    Out += "\n";
+  };
+  Meta("num_nodes", D.NumNodes);
+  Meta("mesh_x", D.MeshX);
+  Meta("num_mcs", D.NumMCs);
+  Meta("sample_cycles", D.Config.SampleCycles);
+  Meta("emitted_events", D.EmittedEvents);
+  Meta("dropped_events", D.DroppedEvents);
+  for (unsigned M = 0; M < D.MCNodes.size(); ++M)
+    Meta(formatString("mc_node%u", M), D.MCNodes[M]);
+
+  for (unsigned L = 0; L < D.LinkBusyPerBucket.size(); ++L) {
+    const std::vector<std::uint64_t> &Series = D.LinkBusyPerBucket[L];
+    for (std::size_t B = 0; B < Series.size(); ++B)
+      if (Series[B] != 0)
+        Out += formatString("link,%llu,%u,%llu\n", (unsigned long long)B, L,
+                            (unsigned long long)Series[B]);
+  }
+  for (unsigned M = 0; M < D.McQueuePerBucket.size(); ++M) {
+    const std::vector<TraceData::McSample> &Series = D.McQueuePerBucket[M];
+    for (std::size_t B = 0; B < Series.size(); ++B)
+      if (Series[B].Enqueued != 0 || Series[B].WaitCycles != 0)
+        Out += formatString("mcq,%llu,%u,%llu,%llu\n", (unsigned long long)B,
+                            M, (unsigned long long)Series[B].Enqueued,
+                            (unsigned long long)Series[B].WaitCycles);
+  }
+  for (unsigned N = 0; N < D.NumNodes; ++N)
+    for (unsigned M = 0; M < D.NumMCs; ++M) {
+      std::uint64_t Req = D.requestsAt(N, M);
+      if (Req != 0)
+        Out += formatString("traffic,%u,%u,%llu,%u\n", N, M,
+                            (unsigned long long)Req, manhattan(D, N, M));
+    }
+  return Out;
+}
+
+bool offchip::writeTimeSeriesCsv(const TraceData &D, const std::string &Path) {
+  std::ofstream Out(Path, std::ios::trunc | std::ios::binary);
+  if (!Out)
+    return false;
+  Out << renderTimeSeriesCsv(D);
+  return static_cast<bool>(Out);
+}
+
+bool offchip::parseTimeSeriesCsv(const std::string &Text, TraceData &D,
+                                 std::string *Err) {
+  D = TraceData();
+  std::size_t LineNo = 0, Pos = 0;
+  auto Fail = [&](const std::string &Why) {
+    if (Err)
+      *Err = formatString("time-series line %llu: ",
+                          (unsigned long long)LineNo) +
+             Why;
+    return false;
+  };
+  while (Pos < Text.size()) {
+    std::size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::vector<std::string> F;
+    std::size_t Start = 0;
+    while (true) {
+      std::size_t C = Line.find(',', Start);
+      if (C == std::string::npos) {
+        F.push_back(Line.substr(Start));
+        break;
+      }
+      F.push_back(Line.substr(Start, C - Start));
+      Start = C + 1;
+    }
+    auto U64 = [](const std::string &S) {
+      return std::strtoull(S.c_str(), nullptr, 10);
+    };
+    if (F[0] == "meta") {
+      if (F.size() != 3)
+        return Fail("meta needs key,value");
+      std::uint64_t V = U64(F[2]);
+      if (F[1] == "num_nodes")
+        D.NumNodes = static_cast<unsigned>(V);
+      else if (F[1] == "mesh_x")
+        D.MeshX = static_cast<unsigned>(V);
+      else if (F[1] == "num_mcs")
+        D.NumMCs = static_cast<unsigned>(V);
+      else if (F[1] == "sample_cycles")
+        D.Config.SampleCycles = static_cast<unsigned>(V);
+      else if (F[1] == "emitted_events")
+        D.EmittedEvents = V;
+      else if (F[1] == "dropped_events")
+        D.DroppedEvents = V;
+      else if (F[1].rfind("mc_node", 0) == 0) {
+        unsigned Idx =
+            static_cast<unsigned>(std::strtoul(F[1].c_str() + 7, nullptr, 10));
+        if (D.MCNodes.size() <= Idx)
+          D.MCNodes.resize(Idx + 1, 0);
+        D.MCNodes[Idx] = static_cast<unsigned>(V);
+      }
+      // Unknown meta keys are ignored for forward compatibility.
+      if (D.NumNodes != 0) {
+        D.LinkBusyPerBucket.resize(static_cast<std::size_t>(D.NumNodes) * 4);
+        D.NodeToMCRequests.assign(
+            static_cast<std::size_t>(D.NumNodes) * std::max(1u, D.NumMCs), 0);
+      }
+      if (D.NumMCs != 0)
+        D.McQueuePerBucket.resize(D.NumMCs);
+      continue;
+    }
+    if (F[0] == "link") {
+      if (F.size() != 4)
+        return Fail("link needs bucket,link,busy");
+      std::size_t B = U64(F[1]);
+      unsigned L = static_cast<unsigned>(U64(F[2]));
+      if (L >= D.LinkBusyPerBucket.size())
+        return Fail("link id out of range (missing meta?)");
+      if (D.LinkBusyPerBucket[L].size() <= B)
+        D.LinkBusyPerBucket[L].resize(B + 1, 0);
+      D.LinkBusyPerBucket[L][B] = U64(F[3]);
+      continue;
+    }
+    if (F[0] == "mcq") {
+      if (F.size() != 5)
+        return Fail("mcq needs bucket,mc,enq,wait");
+      std::size_t B = U64(F[1]);
+      unsigned M = static_cast<unsigned>(U64(F[2]));
+      if (M >= D.McQueuePerBucket.size())
+        return Fail("mc id out of range (missing meta?)");
+      if (D.McQueuePerBucket[M].size() <= B)
+        D.McQueuePerBucket[M].resize(B + 1);
+      D.McQueuePerBucket[M][B].Enqueued = U64(F[3]);
+      D.McQueuePerBucket[M][B].WaitCycles = U64(F[4]);
+      continue;
+    }
+    if (F[0] == "traffic") {
+      if (F.size() != 5)
+        return Fail("traffic needs node,mc,requests,hops");
+      unsigned N = static_cast<unsigned>(U64(F[1]));
+      unsigned M = static_cast<unsigned>(U64(F[2]));
+      if (N >= D.NumNodes || M >= D.NumMCs)
+        return Fail("traffic node/mc out of range (missing meta?)");
+      D.NodeToMCRequests[static_cast<std::size_t>(N) * D.NumMCs + M] =
+          U64(F[3]);
+      continue;
+    }
+    return Fail("unknown row kind '" + F[0] + "'");
+  }
+  if (D.NumNodes == 0 || D.NumMCs == 0)
+    return Fail("missing num_nodes/num_mcs meta");
+  return true;
+}
+
+std::string offchip::renderTraceReport(const TraceData &D) {
+  std::string Out;
+  Out += formatString("trace report: %u nodes (%ux%u mesh), %u MCs, "
+                      "sample=%u cycles\n",
+                      D.NumNodes, D.MeshX,
+                      D.MeshX ? D.NumNodes / D.MeshX : 0, D.NumMCs,
+                      D.Config.SampleCycles);
+  Out += formatString("events: %llu emitted, %llu dropped by the ring "
+                      "(aggregates below cover the whole run)\n\n",
+                      (unsigned long long)D.EmittedEvents,
+                      (unsigned long long)D.DroppedEvents);
+
+  // --- Per-link heatmap: node grid of total outgoing-link busy cycles. ---
+  Out += "link utilization heatmap (busy cycles per node's outgoing links"
+         ", E/W/S/N summed):\n";
+  unsigned MeshY = D.MeshX ? D.NumNodes / D.MeshX : 1;
+  std::vector<std::uint64_t> PerLinkTotal(D.LinkBusyPerBucket.size(), 0);
+  for (std::size_t L = 0; L < D.LinkBusyPerBucket.size(); ++L)
+    for (std::uint64_t V : D.LinkBusyPerBucket[L])
+      PerLinkTotal[L] += V;
+  for (unsigned Y = 0; Y < MeshY; ++Y) {
+    std::string Row = "  ";
+    for (unsigned X = 0; X < D.MeshX; ++X) {
+      unsigned N = Y * D.MeshX + X;
+      std::uint64_t Total = 0;
+      for (unsigned Dir = 0; Dir < 4; ++Dir)
+        Total += PerLinkTotal[N * 4 + Dir];
+      Row += padLeft(formatString("%llu", (unsigned long long)Total), 10);
+    }
+    Out += Row + "\n";
+  }
+
+  // Busiest directed links, with their peak bucket.
+  std::vector<unsigned> Order;
+  for (unsigned L = 0; L < PerLinkTotal.size(); ++L)
+    if (PerLinkTotal[L] != 0)
+      Order.push_back(L);
+  std::sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+    return PerLinkTotal[A] != PerLinkTotal[B] ? PerLinkTotal[A] > PerLinkTotal[B]
+                                              : A < B;
+  });
+  static const char *DirNames[4] = {"E", "W", "S", "N"};
+  Out += "\nbusiest links:\n";
+  Out += "  " + padRight("link", 14) + padLeft("busy_cycles", 12) +
+         padLeft("peak_bucket", 12) + padLeft("peak_busy", 10) + "\n";
+  for (std::size_t I = 0; I < Order.size() && I < 10; ++I) {
+    unsigned L = Order[I];
+    unsigned N = L / 4;
+    std::uint64_t Peak = 0, PeakB = 0;
+    const std::vector<std::uint64_t> &S = D.LinkBusyPerBucket[L];
+    for (std::size_t B = 0; B < S.size(); ++B)
+      if (S[B] > Peak) {
+        Peak = S[B];
+        PeakB = B;
+      }
+    Out += "  " +
+           padRight(formatString("(%u,%u)%s", D.MeshX ? N % D.MeshX : N,
+                                 D.MeshX ? N / D.MeshX : 0, DirNames[L % 4]),
+                    14) +
+           padLeft(formatString("%llu", (unsigned long long)PerLinkTotal[L]),
+                   12) +
+           padLeft(formatString("%llu", (unsigned long long)PeakB), 12) +
+           padLeft(formatString("%llu", (unsigned long long)Peak), 10) + "\n";
+  }
+
+  // --- MC queue-depth percentiles (Little's law per bucket). ---
+  Out += "\nMC queue depth per sample bucket (wait-cycles / sample-cycles):\n";
+  Out += "  " + padRight("mc", 6) + padLeft("buckets", 8) + padLeft("mean", 9) +
+         padLeft("p50", 9) + padLeft("p90", 9) + padLeft("p99", 9) +
+         padLeft("max", 9) + "\n";
+  std::size_t LastBucket = 0;
+  for (const std::vector<TraceData::McSample> &S : D.McQueuePerBucket)
+    LastBucket = std::max(LastBucket, S.size());
+  for (unsigned M = 0; M < D.McQueuePerBucket.size(); ++M) {
+    const std::vector<TraceData::McSample> &S = D.McQueuePerBucket[M];
+    std::vector<double> Depth(LastBucket, 0.0);
+    double Sum = 0.0;
+    for (std::size_t B = 0; B < S.size(); ++B) {
+      Depth[B] = static_cast<double>(S[B].WaitCycles) /
+                 static_cast<double>(D.Config.SampleCycles);
+      Sum += Depth[B];
+    }
+    std::vector<double> Sorted = Depth;
+    std::sort(Sorted.begin(), Sorted.end());
+    double Mean = LastBucket ? Sum / static_cast<double>(LastBucket) : 0.0;
+    Out += "  " + padRight(formatString("mc%u", M), 6) +
+           padLeft(formatString("%llu", (unsigned long long)LastBucket), 8) +
+           padLeft(formatString("%.3f", Mean), 9) +
+           padLeft(formatString("%.3f", percentileSorted(Sorted, 0.50)), 9) +
+           padLeft(formatString("%.3f", percentileSorted(Sorted, 0.90)), 9) +
+           padLeft(formatString("%.3f", percentileSorted(Sorted, 0.99)), 9) +
+           padLeft(formatString("%.3f",
+                                Sorted.empty() ? 0.0 : Sorted.back()),
+                   9) +
+           "\n";
+  }
+
+  // --- Per-(node, MC) distance histogram (Figure 13/15 cross-check). ---
+  std::vector<std::uint64_t> ByDistance;
+  std::uint64_t Requests = 0, WeightedHops = 0;
+  for (unsigned N = 0; N < D.NumNodes; ++N)
+    for (unsigned M = 0; M < D.NumMCs; ++M) {
+      std::uint64_t Req = D.requestsAt(N, M);
+      if (Req == 0)
+        continue;
+      unsigned H = manhattan(D, N, M);
+      if (ByDistance.size() <= H)
+        ByDistance.resize(H + 1, 0);
+      ByDistance[H] += Req;
+      Requests += Req;
+      WeightedHops += Req * H;
+    }
+  Out += "\noff-chip request distance histogram (requester -> MC hops):\n";
+  Out += "  " + padRight("hops", 6) + padLeft("requests", 12) +
+         padLeft("share", 9) + padLeft("cum", 9) + "\n";
+  std::uint64_t Cum = 0;
+  for (unsigned H = 0; H < ByDistance.size(); ++H) {
+    if (ByDistance[H] == 0)
+      continue;
+    Cum += ByDistance[H];
+    double Share = Requests ? static_cast<double>(ByDistance[H]) /
+                                  static_cast<double>(Requests)
+                            : 0.0;
+    double CumShare =
+        Requests ? static_cast<double>(Cum) / static_cast<double>(Requests)
+                 : 0.0;
+    Out += "  " + padRight(formatString("%u", H), 6) +
+           padLeft(formatString("%llu", (unsigned long long)ByDistance[H]),
+                   12) +
+           padLeft(formatPercent(Share), 9) +
+           padLeft(formatPercent(CumShare), 9) + "\n";
+  }
+  double MeanHops = Requests ? static_cast<double>(WeightedHops) /
+                                   static_cast<double>(Requests)
+                             : 0.0;
+  Out += formatString("  total %llu off-chip requests, mean distance %.2f "
+                      "hops\n",
+                      (unsigned long long)Requests, MeanHops);
+  return Out;
+}

@@ -1,0 +1,52 @@
+//===- trace/TimeSeries.h - Time-series dump and summaries ------*- C++ -*-===//
+///
+/// \file
+/// The compact CSV time-series dump (tools/trace-report's input) and the
+/// summary tables derived from it: per-link utilization heatmap, MC
+/// queue-depth percentiles, and the per-(node, MC) distance histogram that
+/// cross-checks the Figure 13/15 aggregates.
+///
+/// Dump format — plain CSV rows, '#' comments, all integers, byte-
+/// deterministic:
+///
+///   meta,<key>,<value>                 machine geometry + trace settings
+///   link,<bucket>,<link>,<busy>        busy cycles of directed link <link>
+///                                      in [bucket*sample, (bucket+1)*sample)
+///   mcq,<bucket>,<mc>,<enq>,<wait>     requests enqueued at MC <mc> in the
+///                                      bucket and their total queue wait
+///   traffic,<node>,<mc>,<requests>,<hops>   whole-run off-chip request
+///                                      count and Manhattan distance
+///
+/// Zero rows are omitted. The aggregate tables behind link/mcq/traffic are
+/// collected outside the event ring (TraceSink), so the dump covers the
+/// whole run even when the event buffer wrapped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_TRACE_TIMESERIES_H
+#define OFFCHIP_TRACE_TIMESERIES_H
+
+#include "trace/TraceEvent.h"
+
+namespace offchip {
+
+/// Renders the CSV dump described above.
+std::string renderTimeSeriesCsv(const TraceData &D);
+
+/// Writes the dump to \p Path; \returns false on I/O failure.
+bool writeTimeSeriesCsv(const TraceData &D, const std::string &Path);
+
+/// Parses a dump produced by renderTimeSeriesCsv back into a TraceData
+/// (aggregate tables + geometry only; Events stays empty). \returns false
+/// and fills \p Err on malformed input.
+bool parseTimeSeriesCsv(const std::string &Text, TraceData &D,
+                        std::string *Err);
+
+/// The trace-report summary: one human-readable text block with the
+/// per-link heatmap, queue-depth percentiles and distance histogram.
+/// Shared by tools/trace-report and the tests.
+std::string renderTraceReport(const TraceData &D);
+
+} // namespace offchip
+
+#endif // OFFCHIP_TRACE_TIMESERIES_H

@@ -1,0 +1,64 @@
+# Runs a bench binary twice with --trace — once on the serial engine, once
+# at --sim-threads 8 — and demands three byte-identities:
+#
+#   1. both stdouts match the (untraced) golden: --trace never changes
+#      simulated results or bench output,
+#   2. every .trace.json / .series.csv file from run A matches its
+#      counterpart from run B: trace bytes are engine-invariant,
+#   3. at least one trace file pair exists (the flag actually traced).
+#
+# Usage (via add_test in tests/CMakeLists.txt):
+#   cmake -DBENCH=<path> -DARGS="--jobs;1;--apps;wupwise,swim"
+#         -DGOLDEN=<path> -DWORK_DIR=<scratch dir> -P compare_trace.cmake
+
+if(NOT DEFINED BENCH OR NOT DEFINED GOLDEN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+    "compare_trace.cmake needs -DBENCH=..., -DGOLDEN=..., -DWORK_DIR=...")
+endif()
+if(NOT DEFINED ARGS)
+  set(ARGS "")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}/serial" "${WORK_DIR}/threads8")
+
+file(READ ${GOLDEN} EXPECTED)
+foreach(Run "serial;1" "threads8;8")
+  list(GET Run 0 Name)
+  list(GET Run 1 Threads)
+  execute_process(
+    COMMAND ${BENCH} ${ARGS} --sim-threads ${Threads} --trace
+            --trace-out "${WORK_DIR}/${Name}/t"
+    OUTPUT_VARIABLE ACTUAL
+    RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "${BENCH} (${Name}) exited with ${RC}")
+  endif()
+  if(NOT ACTUAL STREQUAL EXPECTED)
+    file(WRITE "${WORK_DIR}/${Name}.stdout.actual" "${ACTUAL}")
+    message(FATAL_ERROR
+      "traced ${Name} stdout differs from ${GOLDEN} — tracing perturbed the "
+      "bench output (actual in ${WORK_DIR}/${Name}.stdout.actual)")
+  endif()
+endforeach()
+
+file(GLOB SerialFiles RELATIVE "${WORK_DIR}/serial" "${WORK_DIR}/serial/t.*")
+list(LENGTH SerialFiles NumFiles)
+if(NumFiles EQUAL 0)
+  message(FATAL_ERROR "--trace produced no trace files under ${WORK_DIR}")
+endif()
+
+foreach(File ${SerialFiles})
+  if(NOT EXISTS "${WORK_DIR}/threads8/${File}")
+    message(FATAL_ERROR "run at --sim-threads 8 did not write ${File}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORK_DIR}/serial/${File}" "${WORK_DIR}/threads8/${File}"
+    RESULT_VARIABLE Cmp)
+  if(NOT Cmp EQUAL 0)
+    message(FATAL_ERROR
+      "${File} differs between --sim-threads 1 and 8 — trace bytes are not "
+      "engine-invariant (kept under ${WORK_DIR})")
+  endif()
+endforeach()

@@ -47,6 +47,8 @@ int main(int Argc, char **Argv) {
   unsigned MCsPerCluster = 1;
   unsigned Jobs = 1;
   bool EmitCode = false, Simulate = false, Csv = false, Demo = false;
+  bool Trace = false;
+  std::string TraceOut = "trace";
 
   OptionsParser Options("offchip-opt",
                         "layout pass driver for textual affine programs");
@@ -79,6 +81,13 @@ int main(int Argc, char **Argv) {
                 "host threads inside each simulation (default 1 = serial "
                 "engine; results are bit-identical for any value)");
   Options.flag("--csv", &Csv, "print simulation results as CSV");
+  Options.flag("--trace", &Trace,
+               "with --simulate, write per-request traces "
+               "(<prefix>-original/-optimized .trace.json/.series.csv)");
+  Options.value("--trace-out", &TraceOut,
+                "output path prefix for --trace files (default \"trace\")");
+  Options.value("--trace-sample-cycles", &Config.Trace.SampleCycles,
+                "bucket width of the traced link/MC time series, in cycles");
   Options.flag("--demo", &Demo, "run the built-in Figure 9 demo");
 
   std::string Err;
@@ -159,6 +168,14 @@ int main(int Argc, char **Argv) {
     MachineConfig OptConfig = Config;
     if (Config.Granularity == InterleaveGranularity::Page)
       OptConfig.PagePolicy = PageAllocPolicy::CompilerGuided;
+    if (Trace) {
+      Config.Trace.Enabled = true;
+      Config.Trace.ChromeOutPath = TraceOut + "-original.trace.json";
+      Config.Trace.SeriesOutPath = TraceOut + "-original.series.csv";
+      OptConfig.Trace.Enabled = true;
+      OptConfig.Trace.ChromeOutPath = TraceOut + "-optimized.trace.json";
+      OptConfig.Trace.SeriesOutPath = TraceOut + "-optimized.series.csv";
+    }
     ExperimentRunner Runner(Jobs);
     SimFuture BaseF = Runner.submit(
         [&Program, &Config, &Mapping]() -> SimResult {

@@ -1,0 +1,41 @@
+# Runs offchip-opt --demo --simulate --trace and summarizes the resulting
+# time-series dumps with trace-report. Drives the whole tracing pipeline
+# end to end: simulate -> trace files on disk -> parse -> report.
+#
+# Expects: OFFCHIP_OPT, TRACE_REPORT (tool paths), WORK_DIR (scratch dir).
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${OFFCHIP_OPT}" --demo --simulate --trace
+          --trace-out "${WORK_DIR}/demo"
+  RESULT_VARIABLE SimRc
+  OUTPUT_VARIABLE SimOut
+  ERROR_VARIABLE SimErr)
+if(NOT SimRc EQUAL 0)
+  message(FATAL_ERROR "offchip-opt --simulate --trace failed (${SimRc}):\n"
+                      "${SimOut}\n${SimErr}")
+endif()
+
+foreach(Run original optimized)
+  foreach(Suffix trace.json series.csv)
+    if(NOT EXISTS "${WORK_DIR}/demo-${Run}.${Suffix}")
+      message(FATAL_ERROR "missing trace output demo-${Run}.${Suffix}")
+    endif()
+  endforeach()
+endforeach()
+
+execute_process(
+  COMMAND "${TRACE_REPORT}" "${WORK_DIR}/demo-original.series.csv"
+          "${WORK_DIR}/demo-optimized.series.csv"
+  RESULT_VARIABLE RepRc
+  OUTPUT_VARIABLE RepOut
+  ERROR_VARIABLE RepErr)
+if(NOT RepRc EQUAL 0)
+  message(FATAL_ERROR "trace-report failed (${RepRc}):\n${RepOut}\n${RepErr}")
+endif()
+if(NOT RepOut MATCHES "off-chip request distance histogram")
+  message(FATAL_ERROR "trace-report output missing distance histogram:\n"
+                      "${RepOut}")
+endif()
