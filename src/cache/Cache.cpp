@@ -110,6 +110,14 @@ bool Cache::invalidate(std::uint64_t LineAddr) {
   return false;
 }
 
+std::uint64_t Cache::residentLines() const {
+  std::uint64_t N = 0;
+  for (const Way &W : Sets)
+    if (W.Valid)
+      ++N;
+  return N;
+}
+
 void Cache::reset() {
   for (Way &W : Sets)
     W = Way();

@@ -57,6 +57,18 @@ public:
   std::uint64_t hits() const { return Hits; }
   std::uint64_t misses() const { return Misses; }
 
+  /// Number of currently resident lines.
+  std::uint64_t residentLines() const;
+
+  /// Invokes \p Fn(LineAddr) for every resident line (unspecified order).
+  /// Tags are full line addresses (hashed index), so residents can be
+  /// enumerated exactly; used by the invariant checker (src/check).
+  template <typename FnT> void forEachLine(FnT Fn) const {
+    for (const Way &W : Sets)
+      if (W.Valid)
+        Fn(W.Tag);
+  }
+
   void reset();
 
 private:

@@ -21,6 +21,12 @@ void Directory::addSharer(std::uint64_t LineAddr, unsigned Node) {
   Lines.refOrInsert(LineAddr) |= 1ull << Node;
 }
 
+bool Directory::hasSharer(std::uint64_t LineAddr, unsigned Node) const {
+  assert(Node < NumNodes && "sharer out of range");
+  const std::uint64_t *Mask = Lines.find(LineAddr);
+  return Mask && (*Mask & (1ull << Node)) != 0;
+}
+
 void Directory::removeSharer(std::uint64_t LineAddr, unsigned Node) {
   Ownership.assertHeld();
   assert(Node < NumNodes && "sharer out of range");

@@ -43,6 +43,19 @@ public:
 
   std::uint64_t trackedLines() const { return Lines.size(); }
 
+  /// True when \p Node is recorded as holding \p LineAddr. No LRU or
+  /// statistics side effects; used by the invariant checker (src/check).
+  bool hasSharer(std::uint64_t LineAddr, unsigned Node) const;
+
+  /// Invokes \p Fn(LineAddr, SharerMask) for every tracked line with a
+  /// non-empty sharer set (unspecified order). Bit i of the mask is node i.
+  template <typename FnT> void forEachLine(FnT Fn) const {
+    Lines.forEach([&Fn](std::uint64_t Line, std::uint64_t Mask) {
+      if (Mask != 0)
+        Fn(Line, Mask);
+    });
+  }
+
   /// Debug ownership: the parallel engine binds the directory to the merger
   /// thread so any worker-side lookup asserts (directory state is global and
   /// must only be advanced in merged event order).

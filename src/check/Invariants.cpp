@@ -1,0 +1,114 @@
+//===- check/Invariants.cpp -----------------------------------------------===//
+
+#include "check/Invariants.h"
+
+#include "cache/Cache.h"
+#include "cache/Directory.h"
+
+using namespace offchip;
+
+std::vector<std::string>
+RequestLedger::verify(std::uint64_t TotalAccesses) const {
+  std::vector<std::string> Out;
+  std::uint64_t Issued = 0, Retired = 0;
+  for (unsigned T = 0; T < Slots.size(); ++T) {
+    const Slot &S = Slots[T];
+    Issued += S.Issued;
+    Retired += S.Retired;
+    std::string Who = "thread " + std::to_string(T);
+    if (S.DoubleIssue)
+      Out.push_back(Who + ": issued an access while one was in flight");
+    if (S.StrayRetire)
+      Out.push_back(Who + ": retired an access that was never issued");
+    if (S.KeyMismatch)
+      Out.push_back(Who + ": retired under a different key than issued");
+    if (S.OrderViolation)
+      Out.push_back(Who + ": event keys went backwards");
+    if (S.InFlight)
+      Out.push_back(Who + ": access still in flight at run end (issued " +
+                    std::to_string(S.Issued) + ", retired " +
+                    std::to_string(S.Retired) + ")");
+    else if (S.Issued != S.Retired)
+      Out.push_back(Who + ": issued " + std::to_string(S.Issued) +
+                    " accesses but retired " + std::to_string(S.Retired));
+  }
+  if (Issued != TotalAccesses)
+    Out.push_back("ledger issued " + std::to_string(Issued) +
+                  " accesses but the run counted " +
+                  std::to_string(TotalAccesses));
+  if (Issued != Retired)
+    Out.push_back("ledger issued " + std::to_string(Issued) +
+                  " accesses but retired " + std::to_string(Retired));
+  return Out;
+}
+
+void offchip::checkDirectoryAgainstL2s(const Directory &Dir,
+                                       const std::vector<Cache> &L2s,
+                                       std::vector<std::string> &Out) {
+  // Cap the per-direction reports: one aliasing bug corrupts thousands of
+  // lines and the first few mismatches carry all the signal.
+  constexpr std::size_t MaxReports = 8;
+
+  std::size_t Mismatches = 0;
+  Dir.forEachLine([&](std::uint64_t Line, std::uint64_t Mask) {
+    for (unsigned Node = 0; Node < L2s.size(); ++Node) {
+      if ((Mask & (1ull << Node)) == 0)
+        continue;
+      if (L2s[Node].contains(Line))
+        continue;
+      if (Mismatches++ < MaxReports)
+        Out.push_back("directory lists node " + std::to_string(Node) +
+                      " as sharer of line " + std::to_string(Line) +
+                      " but its L2 does not hold it");
+    }
+  });
+  if (Mismatches > MaxReports)
+    Out.push_back("... and " + std::to_string(Mismatches - MaxReports) +
+                  " more directory->L2 mismatches");
+
+  Mismatches = 0;
+  for (unsigned Node = 0; Node < L2s.size(); ++Node) {
+    L2s[Node].forEachLine([&](std::uint64_t Line) {
+      if (Dir.hasSharer(Line, Node))
+        return;
+      if (Mismatches++ < MaxReports)
+        Out.push_back("node " + std::to_string(Node) + " L2 holds line " +
+                      std::to_string(Line) +
+                      " but the directory does not track it");
+    });
+  }
+  if (Mismatches > MaxReports)
+    Out.push_back("... and " + std::to_string(Mismatches - MaxReports) +
+                  " more L2->directory mismatches");
+}
+
+void offchip::checkMcConservation(
+    const std::vector<std::uint64_t> &PerMCAccesses,
+    const std::vector<std::uint64_t> &NodeToMCTraffic, unsigned NumNodes,
+    unsigned NumMCs, std::uint64_t OffChipAccesses,
+    std::vector<std::string> &Out) {
+  if (PerMCAccesses.size() != NumMCs ||
+      NodeToMCTraffic.size() !=
+          static_cast<std::size_t>(NumNodes) * NumMCs) {
+    Out.push_back("traffic tables are mis-sized for " +
+                  std::to_string(NumNodes) + " nodes x " +
+                  std::to_string(NumMCs) + " MCs");
+    return;
+  }
+  std::uint64_t Grand = 0;
+  for (unsigned MC = 0; MC < NumMCs; ++MC) {
+    std::uint64_t Column = 0;
+    for (unsigned Node = 0; Node < NumNodes; ++Node)
+      Column += NodeToMCTraffic[static_cast<std::size_t>(Node) * NumMCs + MC];
+    Grand += Column;
+    if (Column != PerMCAccesses[MC])
+      Out.push_back("MC " + std::to_string(MC) + " serviced " +
+                    std::to_string(PerMCAccesses[MC]) +
+                    " accesses but the traffic table records " +
+                    std::to_string(Column));
+  }
+  if (Grand != OffChipAccesses)
+    Out.push_back("traffic table totals " + std::to_string(Grand) +
+                  " off-chip requests but the run counted " +
+                  std::to_string(OffChipAccesses));
+}

@@ -1,0 +1,119 @@
+//===- check/Invariants.h - Runtime simulation invariant checks -*- C++ -*-===//
+///
+/// \file
+/// Structural invariants of a simulation run, verified at run end when
+/// MachineConfig::CheckInvariants is set (and by the differential fuzzer,
+/// tools/offchip-fuzz, on every trial):
+///
+///  - RequestLedger: every access the engine issues retires exactly once,
+///    each thread has at most one access in flight, and a thread's event
+///    keys never go backwards. Both engine loops feed the same ledger, so
+///    a merger that drops, duplicates or reorders a shipped event is caught
+///    even when the aggregate counters happen to balance.
+///  - Directory/L2 consistency (checkDirectoryAgainstL2s): the sharer set
+///    the directory tracks for a line matches the private L2s that actually
+///    hold it, in both directions.
+///  - MC traffic conservation (checkMcConservation): each controller's
+///    serviced-access count equals its column sum of the per-(node, MC)
+///    traffic table, and the table's total equals the run's off-chip access
+///    count (writebacks are deliberately outside both, see
+///    MemoryController::writeback).
+///
+/// All checks are read-only and report violations as strings; the caller
+/// decides whether to abort. Nothing here ever changes simulation results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_CHECK_INVARIANTS_H
+#define OFFCHIP_CHECK_INVARIANTS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace offchip {
+
+class Cache;
+class Directory;
+
+/// Issue/retire accounting for every access the engine processes.
+///
+/// Thread safety: one slot per simulated thread, padded to a cache line.
+/// A slot is only ever touched by the worker that owns the thread's node
+/// or — for a shipped access, while the node is stalled — by the merger;
+/// the SPSC event/resume handoffs order those touches (release push /
+/// acquire pop), so the fields need no atomics.
+class RequestLedger {
+public:
+  explicit RequestLedger(unsigned NumThreads) : Slots(NumThreads) {}
+
+  /// Thread \p Thread popped an access with event key \p Key.
+  void issue(unsigned Thread, std::uint64_t Key) {
+    Slot &S = Slots[Thread];
+    if (S.InFlight)
+      S.DoubleIssue = true;
+    // Non-strict: with zero latencies and a zero compute gap a thread's
+    // next key can legally equal its previous one.
+    if (S.Issued != 0 && Key < S.LastKey)
+      S.OrderViolation = true;
+    S.LastKey = Key;
+    S.InFlightKey = Key;
+    S.InFlight = true;
+    ++S.Issued;
+  }
+
+  /// The access issued under \p Key completed (its next event was
+  /// scheduled).
+  void retire(unsigned Thread, std::uint64_t Key) {
+    Slot &S = Slots[Thread];
+    if (!S.InFlight)
+      S.StrayRetire = true;
+    else if (S.InFlightKey != Key)
+      S.KeyMismatch = true;
+    S.InFlight = false;
+    ++S.Retired;
+  }
+
+  /// End-of-run verification; call after both engine loops have joined.
+  /// \p TotalAccesses is SimResult::TotalAccesses — every issued access is
+  /// counted there exactly once, so the totals must agree. \returns one
+  /// message per violated invariant (empty when clean).
+  std::vector<std::string> verify(std::uint64_t TotalAccesses) const;
+
+private:
+  struct alignas(64) Slot {
+    std::uint64_t Issued = 0;
+    std::uint64_t Retired = 0;
+    std::uint64_t LastKey = 0;
+    std::uint64_t InFlightKey = 0;
+    bool InFlight = false;
+    bool DoubleIssue = false;
+    bool StrayRetire = false;
+    bool KeyMismatch = false;
+    bool OrderViolation = false;
+  };
+  std::vector<Slot> Slots;
+};
+
+/// Cross-checks the directory's sharer sets against the private L2 contents
+/// in both directions: every recorded sharer must hold the line, and every
+/// resident L2 line must be tracked for that node. Only meaningful for
+/// private-L2 machines (the SNUCA flow never consults the directory).
+/// Appends one message per mismatch to \p Out, capped with an ellipsis.
+void checkDirectoryAgainstL2s(const Directory &Dir,
+                              const std::vector<Cache> &L2s,
+                              std::vector<std::string> &Out);
+
+/// Conservation of off-chip request accounting: for each MC, the accesses
+/// it serviced (\p PerMCAccesses) must equal the column sum of the
+/// row-major [node][mc] \p NodeToMCTraffic table, and the table's grand
+/// total must equal \p OffChipAccesses. Appends violations to \p Out.
+void checkMcConservation(const std::vector<std::uint64_t> &PerMCAccesses,
+                         const std::vector<std::uint64_t> &NodeToMCTraffic,
+                         unsigned NumNodes, unsigned NumMCs,
+                         std::uint64_t OffChipAccesses,
+                         std::vector<std::string> &Out);
+
+} // namespace offchip
+
+#endif // OFFCHIP_CHECK_INVARIANTS_H

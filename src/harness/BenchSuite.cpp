@@ -304,6 +304,13 @@ std::optional<int> BenchSuite::parseArgs(int Argc, char **Argv) {
     if (TraceMaxEvents != 0)
       Config.Trace.MaxEventsPerNode = TraceMaxEvents;
   }
+  // All overrides are applied; reject impossible machines here so a bad
+  // --mesh/--mcs fails with diagnostics instead of crashing mid-suite.
+  if (std::vector<ConfigDiagnostic> Diags = Config.validate();
+      !Diags.empty()) {
+    std::fprintf(stderr, "%s\n", renderDiagnostics(Diags).c_str());
+    return 2;
+  }
   if (CsvRequested)
     Sink = makeCsvSink();
   else if (JsonRequested)

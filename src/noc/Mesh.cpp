@@ -60,19 +60,26 @@ offchip::placeMemoryControllers(const Mesh &M, unsigned NumMCs,
       return Nodes;
     }
     // Larger counts (Figure 27): NumMCs/2 spread along the top edge and
-    // NumMCs/2 along the bottom edge, corners included.
+    // NumMCs/2 along the bottom edge, corners included. A single MC per
+    // edge sits at the corner (the I*(X-1)/(Half-1) spread needs two or
+    // more anchor points).
     if (NumMCs % 2 != 0 || NumMCs / 2 > X)
       reportFatalError("unsupported MC count for Corners placement");
     unsigned Half = NumMCs / 2;
+    auto CornerSpread = [&](unsigned I) {
+      return Half == 1 ? 0 : I * (X - 1) / (Half - 1);
+    };
     for (unsigned I = 0; I < Half; ++I)
-      Nodes.push_back(M.nodeId({I * (X - 1) / (Half - 1), 0}));
+      Nodes.push_back(M.nodeId({CornerSpread(I), 0}));
     for (unsigned I = 0; I < Half; ++I)
-      Nodes.push_back(M.nodeId({I * (X - 1) / (Half - 1), Y - 1}));
+      Nodes.push_back(M.nodeId({CornerSpread(I), Y - 1}));
     return Nodes;
   }
   case MCPlacementKind::EdgeMidpoints: {
     if (NumMCs != 4)
       reportFatalError("EdgeMidpoints placement requires 4 MCs");
+    if (X < 2 || Y < 2)
+      reportFatalError("EdgeMidpoints placement needs a mesh of at least 2x2");
     // Same top/bottom group structure as Corners: MC0/MC1 on the top half
     // (top edge middle, left edge middle), MC2/MC3 on the bottom half.
     Nodes = {M.nodeId({X / 2 - 1, 0}), M.nodeId({X - 1, Y / 2 - 1}),

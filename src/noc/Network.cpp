@@ -169,3 +169,25 @@ void Network::reset() {
   TimedSeconds = 0.0;
   TimedCalls = 0;
 }
+
+bool Network::checkCalendars(std::string *Why) const {
+  auto Fail = [Why](std::size_t Link, std::size_t Pos, const char *What) {
+    if (Why)
+      *Why = "link " + std::to_string(Link) + " reservation " +
+             std::to_string(Pos) + ": " + What;
+    return false;
+  };
+  for (std::size_t L = 0; L < Links.size(); ++L) {
+    const LinkState &S = Links[L];
+    if (S.Head > S.Reserved.size())
+      return Fail(L, S.Head, "head past the end of the calendar");
+    for (std::size_t I = S.Head; I < S.Reserved.size(); ++I) {
+      const LinkState::Interval &Iv = S.Reserved[I];
+      if (Iv.Start >= Iv.End)
+        return Fail(L, I, "empty or inverted interval");
+      if (I > S.Head && S.Reserved[I - 1].End > Iv.Start)
+        return Fail(L, I, "overlaps the previous reservation");
+    }
+  }
+  return true;
+}

@@ -23,6 +23,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace offchip {
@@ -108,6 +109,13 @@ public:
 
   /// Forgets all link occupancy and counters.
   void reset();
+
+  /// Invariant check (src/check): every link's reservation calendar must be
+  /// sorted by start, non-overlapping, and made of non-empty intervals past
+  /// its lazily-reclaimed head. \returns true when well-formed; otherwise
+  /// false with a description of the first violation in \p Why (if
+  /// non-null).
+  bool checkCalendars(std::string *Why) const;
 
 private:
   unsigned flitsFor(unsigned Bytes) const {

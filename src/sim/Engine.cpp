@@ -2,6 +2,7 @@
 
 #include "sim/Engine.h"
 
+#include "check/Invariants.h"
 #include "sim/EngineImpl.h"
 #include "support/Error.h"
 #include "support/HostClock.h"
@@ -45,7 +46,7 @@ void runSerialLoop(Machine &M, const MachineConfig &Config,
                    std::vector<EngineThread> &Threads, unsigned ThreadShift,
                    SimResult &R, std::uint64_t &LastTime,
                    double &StreamSeconds, std::uint64_t &StreamCalls,
-                   TraceSink *Sink) {
+                   TraceSink *Sink, RequestLedger *Ledger) {
   const std::uint64_t ThreadMask = (1ull << ThreadShift) - 1;
   auto PackEvent = [ThreadShift](std::uint64_t Time, unsigned Thread) {
     return (Time << ThreadShift) | Thread;
@@ -88,11 +89,16 @@ void runSerialLoop(Machine &M, const MachineConfig &Config,
     }
 
     auto NextKey = [&](std::uint64_t Done) {
+      // Scheduling the thread's next event is this access's retirement.
+      if (Ledger)
+        Ledger->retire(ThreadId, Packed);
       std::uint64_t Next = Done + T.nextGap();
       if (Req.Transformed)
         Next += Config.TransformOverheadCycles;
       return PackEvent(Next, ThreadId);
     };
+    if (Ledger)
+      Ledger->issue(ThreadId, Packed);
 
     std::uint64_t T1 = Time + Config.L1LatencyCycles;
     if (M.l1Probe(T.Node, Req.VA, Req.IsWrite)) {
@@ -147,6 +153,17 @@ SimResult offchip::runSimulation(const std::vector<AppInstance> &Apps,
                                  const MachineConfig &Config,
                                  const ClusterMapping &Mapping,
                                  MultiRunOutputs *Multi) {
+  // Reject invalid machines before any derived quantity is computed: the
+  // constructors below divide by, take logs of and index with these fields,
+  // and an invalid value surfaces as a crash (or a silent wrap) far from
+  // the mistake. Tools validate earlier and print all diagnostics; this is
+  // the last line of defense for programmatic callers.
+  {
+    std::vector<ConfigDiagnostic> Diags = Config.validate();
+    if (!Diags.empty())
+      reportFatalError(renderDiagnostics(Diags).c_str());
+  }
+
   VmConfig VC;
   VC.PageBytes = Config.PageBytes;
   VC.NumMCs = Config.NumMCs;
@@ -200,15 +217,20 @@ SimResult offchip::runSimulation(const std::vector<AppInstance> &Apps,
   if (Timing)
     RunStart = Clock::now();
 
+  std::unique_ptr<RequestLedger> Ledger;
+  if (Config.CheckInvariants)
+    Ledger = std::make_unique<RequestLedger>(
+        static_cast<unsigned>(Threads.size()));
+
   std::uint64_t LastTime = 0;
   double StreamSeconds = 0.0;
   std::uint64_t StreamCalls = 0;
   if (Config.SimThreads >= 2 && Threads.size() >= 2)
     runParallelLoop(M, Config, Threads, ThreadShift, R, LastTime,
-                    StreamSeconds, StreamCalls, Sink.get());
+                    StreamSeconds, StreamCalls, Sink.get(), Ledger.get());
   else
     runSerialLoop(M, Config, Threads, ThreadShift, R, LastTime, StreamSeconds,
-                  StreamCalls, Sink.get());
+                  StreamCalls, Sink.get(), Ledger.get());
 
   R.ExecutionCycles = LastTime;
   R.ThreadFinishCycles.reserve(Threads.size());
@@ -226,6 +248,20 @@ SimResult offchip::runSimulation(const std::vector<AppInstance> &Apps,
   }
 
   M.finalize(R, LastTime == 0 ? 1 : LastTime);
+
+  if (Config.CheckInvariants) {
+    std::vector<std::string> Violations = M.checkInvariants(R);
+    if (Ledger) {
+      std::vector<std::string> L = Ledger->verify(R.TotalAccesses);
+      Violations.insert(Violations.end(), L.begin(), L.end());
+    }
+    if (!Violations.empty()) {
+      std::string Msg = "simulation invariant violated:";
+      for (const std::string &V : Violations)
+        Msg += "\n  " + V;
+      reportFatalError(Msg.c_str());
+    }
+  }
 
   if (Sink) {
     M.setTraceSink(nullptr);

@@ -24,6 +24,7 @@
 
 namespace offchip {
 
+class RequestLedger;
 class TraceSink;
 
 /// One simulated thread's execution state.
@@ -66,11 +67,14 @@ struct EngineThread {
 /// \p Sink, when non-null, receives the trace events; workers emit their
 /// tile-local probe events, the merger emits everything shared — per-node
 /// sequences identical to the serial loop's (see trace/TraceEvent.h).
+/// \p Ledger, when non-null, records issue/retire for every access
+/// (Config.CheckInvariants): workers issue (and retire local hits), the
+/// merger retires shipped accesses as it resumes their nodes.
 void runParallelLoop(Machine &M, const MachineConfig &Config,
                      std::vector<EngineThread> &Threads, unsigned ThreadShift,
                      SimResult &R, std::uint64_t &LastTime,
                      double &StreamSeconds, std::uint64_t &StreamCalls,
-                     TraceSink *Sink);
+                     TraceSink *Sink, RequestLedger *Ledger);
 
 } // namespace offchip
 

@@ -2,6 +2,7 @@
 
 #include "sim/Machine.h"
 
+#include "check/Invariants.h"
 #include "support/HostClock.h"
 #include "trace/TraceSink.h"
 
@@ -311,6 +312,63 @@ std::uint64_t Machine::accessShared(unsigned Node, std::uint64_t PA,
   R.OnChipMsgHops.addSample(Resp.Hops);
   R.NodeToMCTraffic[static_cast<std::size_t>(Node) * Config.NumMCs + MC]++;
   return T;
+}
+
+std::vector<std::string> Machine::checkInvariants(const SimResult &R) const {
+  std::vector<std::string> Out;
+  auto Expect = [&Out](std::uint64_t Got, std::uint64_t Want,
+                       const char *What) {
+    if (Got != Want)
+      Out.push_back(std::string(What) + ": " + std::to_string(Got) +
+                    " != expected " + std::to_string(Want));
+  };
+
+  // Every access lands in exactly one of the four classes.
+  Expect(R.L1Hits + R.LocalL2Hits + R.RemoteL2Hits + R.OffChipAccesses,
+         R.TotalAccesses, "access classes must partition TotalAccesses");
+
+  // Each class samples its latency accumulators a fixed number of times.
+  Expect(R.AccessLatency.count(), R.TotalAccesses,
+         "one end-to-end latency sample per access");
+  Expect(R.MemLatency.count(), R.OffChipAccesses,
+         "one memory-latency sample per off-chip access");
+  Expect(R.OffChipNetLatency.count(), R.OffChipAccesses,
+         "one off-chip network-latency sample per off-chip access");
+  Expect(R.OnChipNetLatency.count(), R.RemoteL2Hits,
+         "one on-chip network-latency sample per remote L2 hit");
+  Expect(R.OffChipMsgHops.total(), 2 * R.OffChipAccesses,
+         "two off-chip hop samples (request, data) per off-chip access");
+  // Private flow: three on-chip messages per remote hit (request, forward,
+  // data). SNUCA: two per home-bank hit and two (L1 request/response legs)
+  // per off-chip access; its off-chip histogram also skips the debug
+  // latency histogram, which only the private flow feeds.
+  if (Config.SharedL2) {
+    Expect(R.OnChipMsgHops.total(), 2 * (R.RemoteL2Hits + R.OffChipAccesses),
+           "two on-chip hop samples per home-bank transaction");
+  } else {
+    Expect(R.OnChipMsgHops.total(), 3 * R.RemoteL2Hits,
+           "three on-chip hop samples per remote L2 hit");
+    Expect(R.OffNetLatencyHist.total(), R.OffChipAccesses,
+           "one off-chip latency histogram sample per off-chip access");
+  }
+
+  std::string Why;
+  if (!Net.checkCalendars(&Why))
+    Out.push_back("NoC reservation calendar malformed: " + Why);
+
+  checkMcConservation(R.PerMCAccesses, R.NodeToMCTraffic, Config.numNodes(),
+                      Config.NumMCs, R.OffChipAccesses, Out);
+
+  // The SNUCA flow never consults the directory, so its sharer sets are
+  // only maintained (and checkable) for private-L2 machines.
+  if (!Config.SharedL2)
+    checkDirectoryAgainstL2s(Dir, L2s, Out);
+
+  if (R.RedirectedPages > R.AllocatedPages)
+    Out.push_back("more pages redirected (" +
+                  std::to_string(R.RedirectedPages) + ") than allocated (" +
+                  std::to_string(R.AllocatedPages) + ")");
+  return Out;
 }
 
 void Machine::finalize(SimResult &R, std::uint64_t Now) const {

@@ -119,6 +119,15 @@ public:
   /// rate, page counters) into \p R given the final cycle \p Now.
   void finalize(SimResult &R, std::uint64_t Now) const;
 
+  /// Verifies the machine's structural invariants against the finalized
+  /// result \p R (Config.CheckInvariants; see src/check/Invariants.h):
+  /// access-class counts partition TotalAccesses, latency sample counts
+  /// match their access classes, NoC link calendars are well-formed, MC
+  /// traffic is conserved, and (private-L2 machines) the directory's sharer
+  /// sets agree with the L2 contents. Read-only; \returns one message per
+  /// violation, empty when the run is clean. Call after finalize().
+  std::vector<std::string> checkInvariants(const SimResult &R) const;
+
   const MachineConfig &config() const { return Config; }
   const std::vector<unsigned> &mcNodes() const { return MCNodes; }
 

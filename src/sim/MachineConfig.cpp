@@ -3,8 +3,24 @@
 #include "sim/MachineConfig.h"
 
 #include "support/Format.h"
+#include "support/MathUtil.h"
 
 using namespace offchip;
+
+std::string ConfigDiagnostic::str() const {
+  return Field + " = " + Value + ": " + Constraint + " (fix: " + Fix + ")";
+}
+
+std::string offchip::renderDiagnostics(
+    const std::vector<ConfigDiagnostic> &Diags) {
+  std::string Out;
+  for (const ConfigDiagnostic &D : Diags) {
+    if (!Out.empty())
+      Out += "\n";
+    Out += "invalid machine config: " + D.str();
+  }
+  return Out;
+}
 
 MachineConfig MachineConfig::paperDefault() { return MachineConfig(); }
 
@@ -31,6 +47,155 @@ LayoutOptions MachineConfig::layoutOptions() const {
   O.CacheLineBytes = L2LineBytes;
   O.PageBytes = PageBytes;
   return O;
+}
+
+namespace {
+
+/// True when some c_x * c_y == NumGroups factorization divides the mesh —
+/// the feasibility condition of harness/Experiment.cpp's defaultClusterGrid.
+bool clusterGridExists(unsigned MeshX, unsigned MeshY, unsigned NumGroups) {
+  for (unsigned X = 1; X <= NumGroups; ++X)
+    if (NumGroups % X == 0 && MeshX % X == 0 && MeshY % (NumGroups / X) == 0)
+      return true;
+  return false;
+}
+
+} // namespace
+
+std::vector<ConfigDiagnostic> MachineConfig::validate() const {
+  std::vector<ConfigDiagnostic> Diags;
+  auto Bad = [&Diags](const char *Field, std::uint64_t Value,
+                      std::string Constraint, std::string Fix) {
+    Diags.push_back({Field, formatString("%llu",
+                                         static_cast<unsigned long long>(Value)),
+                     std::move(Constraint), std::move(Fix)});
+  };
+
+  // Mesh geometry. Every MC placement needs distinct top/bottom rows and
+  // the corner/midpoint kinds need distinct left/right columns, so the
+  // floor is a 2x2 mesh; the directory's sharer bitmask caps nodes at 64.
+  if (MeshX < 2)
+    Bad("MeshX", MeshX, "mesh must be at least 2 columns wide",
+        "use a mesh between 2x2 and 8x8");
+  if (MeshY < 2)
+    Bad("MeshY", MeshY, "mesh must be at least 2 rows tall",
+        "use a mesh between 2x2 and 8x8");
+  if (MeshX >= 2 && MeshY >= 2 && numNodes() > 64)
+    Bad("MeshX*MeshY", numNodes(),
+        "the directory tracks sharers in a 64-bit mask, so at most 64 nodes",
+        "shrink the mesh to 8x8 or smaller");
+
+  if (ThreadsPerCore < 1)
+    Bad("ThreadsPerCore", ThreadsPerCore, "must be >= 1",
+        "use 1 (Table 1) or the 2/4 of Figure 24");
+
+  // Cache geometry: Cache's constructor divides SizeBytes by
+  // LineBytes * Ways and needs at least one whole set.
+  auto CheckCache = [&](const char *Level, std::uint64_t SizeBytes,
+                        unsigned LineBytes, unsigned Ways) {
+    std::string F = std::string(Level);
+    if (LineBytes < 1)
+      Bad((F + "LineBytes").c_str(), LineBytes, "must be >= 1",
+        "use 64 (L1) / 256 (L2) from Table 1");
+    if (Ways < 1)
+      Bad((F + "Ways").c_str(), Ways, "must be >= 1",
+          "use 2 (L1) / 16 (L2) from Table 1");
+    if (LineBytes >= 1 && Ways >= 1) {
+      std::uint64_t SetBytes = static_cast<std::uint64_t>(LineBytes) * Ways;
+      if (SizeBytes < SetBytes || SizeBytes % SetBytes != 0)
+        Bad((F + "SizeBytes").c_str(), SizeBytes,
+            formatString("must be a positive multiple of LineBytes * Ways "
+                         "= %llu",
+                         static_cast<unsigned long long>(SetBytes)),
+            "round the capacity to a whole number of sets");
+    }
+  };
+  CheckCache("L1", L1SizeBytes, L1LineBytes, L1Ways);
+  CheckCache("L2", L2SizeBytes, L2LineBytes, L2Ways);
+  if (L1LineBytes >= 1 && L2LineBytes >= 1 && L2LineBytes % L1LineBytes != 0)
+    Bad("L2LineBytes", L2LineBytes,
+        formatString("must be a multiple of L1LineBytes = %u so an L1 line "
+                     "never straddles two L2 lines",
+                     L1LineBytes),
+        "use an L2 line that is a power-of-two multiple of the L1 line");
+
+  // Virtual memory: the page allocator decomposes addresses with shift/mask
+  // math and insists on power-of-two pages; page-granularity interleaving
+  // additionally needs at least one allocatable page per MC.
+  if (PageBytes < 1 || !isPowerOfTwo(PageBytes))
+    Bad("PageBytes", PageBytes, "must be a nonzero power of two",
+        "use 4096 (Table 1) or the scaled 256");
+  else if (Granularity == InterleaveGranularity::Page &&
+           BytesPerMC < PageBytes)
+    Bad("BytesPerMC", BytesPerMC,
+        formatString("must hold at least one %u-byte page per MC under page "
+                     "interleaving",
+                     PageBytes),
+        "raise BytesPerMC or shrink PageBytes");
+
+  // The layout pass derives p = interleaveBytes / elementBytes; an
+  // interleave unit smaller than one element makes p zero and the
+  // strip-mining degenerate.
+  if (interleaveBytes() < 8)
+    Bad(Granularity == InterleaveGranularity::CacheLine ? "L2LineBytes"
+                                                        : "PageBytes",
+        interleaveBytes(),
+        "the interleave unit must hold at least one array element "
+        "(the workloads declare up to 8-byte elements)",
+        "use an interleave unit of 8 bytes or more");
+
+  // Memory controllers: placement capacity and the per-placement geometry
+  // preconditions (noc/Mesh.cpp), the VM's int8 per-page MC hints, and the
+  // M1 cluster-grid feasibility used by every mapping builder.
+  if (NumMCs < 1) {
+    Bad("NumMCs", NumMCs, "must be >= 1", "use 4 (Table 1)");
+  } else {
+    if (NumMCs > 127)
+      Bad("NumMCs", NumMCs,
+          "per-page MC hints are stored as int8, so at most 127 MCs",
+          "use 127 or fewer MCs");
+    switch (Placement) {
+    case MCPlacementKind::Corners:
+      if (NumMCs != 4 && (NumMCs % 2 != 0 || NumMCs / 2 > MeshX))
+        Bad("NumMCs", NumMCs,
+            "Corners placement needs 4 MCs, or an even count with at most "
+            "MeshX MCs per horizontal edge",
+            "use 4 MCs or switch to TopBottomSpread");
+      break;
+    case MCPlacementKind::EdgeMidpoints:
+      if (NumMCs != 4)
+        Bad("NumMCs", NumMCs, "EdgeMidpoints placement supports exactly 4 MCs",
+            "use 4 MCs or another placement");
+      break;
+    case MCPlacementKind::TopBottomSpread:
+      if (NumMCs % 2 != 0 || NumMCs / 2 > MeshX)
+        Bad("NumMCs", NumMCs,
+            "TopBottomSpread needs an even count with at most MeshX MCs per "
+            "horizontal edge",
+            "use an even MC count no larger than 2 * MeshX");
+      break;
+    }
+    if (MeshX >= 1 && MeshY >= 1 &&
+        !clusterGridExists(MeshX, MeshY, NumMCs))
+      Bad("NumMCs", NumMCs,
+          formatString("no c_x * c_y = %u cluster grid divides the %ux%u "
+                       "mesh evenly",
+                       NumMCs, MeshX, MeshY),
+          "pick an MC count whose factorizations divide the mesh dimensions");
+  }
+
+  // Interconnect and DRAM: each divides by these at every message/request.
+  if (Noc.LinkBytes < 1)
+    Bad("Noc.LinkBytes", Noc.LinkBytes, "must be >= 1",
+        "use the 16-byte links of Table 1");
+  if (Dram.Banks < 1)
+    Bad("Dram.Banks", Dram.Banks, "must be >= 1",
+        "use the 4 banks of Table 1");
+  if (Dram.RowBufferBytes < 1)
+    Bad("Dram.RowBufferBytes", Dram.RowBufferBytes, "must be >= 1",
+        "use the 4 KB row buffer of Table 1");
+
+  return Diags;
 }
 
 std::string MachineConfig::summary() const {

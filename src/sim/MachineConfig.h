@@ -20,8 +20,27 @@
 #include "vm/VirtualMemory.h"
 
 #include <string>
+#include <vector>
 
 namespace offchip {
+
+/// One violated configuration precondition: the offending field, the value
+/// it had, the constraint it broke, and a concrete way out. Returned by
+/// MachineConfig::validate() so callers can report every problem at once
+/// instead of tripping an assert, a division by zero, or a silent wrap deep
+/// inside a constructor.
+struct ConfigDiagnostic {
+  std::string Field;      // e.g. "MeshX"
+  std::string Value;      // the offending value, as text
+  std::string Constraint; // what must hold
+  std::string Fix;        // suggested fix
+
+  /// "MeshX = 0: must be >= 1 (fix: use the 8x8 Table 1 mesh)"
+  std::string str() const;
+};
+
+/// Joins diagnostics into one printable block, one per line.
+std::string renderDiagnostics(const std::vector<ConfigDiagnostic> &Diags);
 
 /// Full machine + run configuration.
 struct MachineConfig {
@@ -91,6 +110,13 @@ struct MachineConfig {
   /// summary(): tracing must not perturb any reported result.
   TraceConfig Trace;
 
+  /// Runtime invariant checking (src/check): the engines keep a
+  /// request-retire ledger and the run's end verifies NoC calendar
+  /// well-formedness, directory/L2 consistency and MC traffic conservation,
+  /// aborting with a message on any violation. Never changes results; like
+  /// SimThreads, deliberately absent from summary().
+  bool CheckInvariants = false;
+
   unsigned numNodes() const { return MeshX * MeshY; }
   unsigned numThreads() const { return numNodes() * ThreadsPerCore; }
 
@@ -109,6 +135,14 @@ struct MachineConfig {
 
   /// Layout-pass options consistent with this machine.
   LayoutOptions layoutOptions() const;
+
+  /// Checks every precondition the downstream constructors rely on (nonzero
+  /// mesh/cache/DRAM geometry, divisibility of line/page/interleave sizes,
+  /// MC count vs. placement capacity, cluster-grid feasibility, directory
+  /// and VM limits) and returns one diagnostic per violation; empty means
+  /// the configuration is safe to simulate. runSimulation() refuses
+  /// configurations with a non-empty result.
+  std::vector<ConfigDiagnostic> validate() const;
 
   /// One-line human-readable summary for bench headers.
   std::string summary() const;

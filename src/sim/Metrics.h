@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace offchip {
@@ -109,6 +110,15 @@ struct SimResult {
     return NodeToMCTraffic[static_cast<std::size_t>(Node) * NumMCs + MC];
   }
 };
+
+/// Exact equality of every value-typed metric of two runs, including all
+/// accumulator moments, histograms and per-MC tables; the differential
+/// check behind the serial-vs-parallel tests and tools/offchip-fuzz.
+/// Phase wall-times and the attached trace are excluded (host-dependent /
+/// shared-pointer identity). On mismatch \returns false and names the
+/// first differing field in \p WhyNot (if non-null).
+bool equalResults(const SimResult &A, const SimResult &B,
+                  std::string *WhyNot = nullptr);
 
 /// Relative savings of \p Opt over \p Base: (base - opt) / base, the
 /// normalization every bar chart in the paper uses.

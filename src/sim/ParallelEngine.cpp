@@ -59,6 +59,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "check/Invariants.h"
 #include "sim/EngineImpl.h"
 #include "support/Shard.h"
 #include "support/SpscQueue.h"
@@ -150,11 +151,11 @@ class ParallelRun {
 public:
   ParallelRun(Machine &M, const MachineConfig &Config,
               std::vector<EngineThread> &Threads, unsigned ThreadShift,
-              TraceSink *Sink)
+              TraceSink *Sink, RequestLedger *Ledger)
       : M(M), Config(Config), Threads(Threads), ThreadShift(ThreadShift),
         ThreadMask((1ull << ThreadShift) - 1), LocalL2(M.localL2Eligible()),
-        Timing(Config.CollectPhaseTimes), Sink(Sink), LB(Config.numNodes()),
-        OwnerOf(Config.numNodes(), nullptr) {}
+        Timing(Config.CollectPhaseTimes), Sink(Sink), Ledger(Ledger),
+        LB(Config.numNodes()), OwnerOf(Config.numNodes(), nullptr) {}
 
   void run() {
     unsigned NumNodes = Config.numNodes();
@@ -278,6 +279,8 @@ private:
             T.FinishTime = Time;
             continue;
           }
+          if (Ledger)
+            Ledger->issue(Tid, Key);
 
           std::uint64_t T1 = Time + Config.L1LatencyCycles;
           if (M.l1Probe(T.Node, Req.VA, Req.IsWrite)) {
@@ -288,6 +291,8 @@ private:
             ++W.Partial.L1Hits;
             W.Partial.AccessLatency.addSample(
                 static_cast<double>(T1 - Time));
+            if (Ledger)
+              Ledger->retire(Tid, Key);
             NS.Pending.push_back(pack(nextTime(T, T1, Req), Tid));
             continue;
           }
@@ -307,6 +312,8 @@ private:
                 Sink->emit(T.Node, Key, TraceKind::L1Fill, T2, 0, Req.VA, 0);
               W.Partial.AccessLatency.addSample(
                   static_cast<double>(T2 - Time));
+              if (Ledger)
+                Ledger->retire(Tid, Key);
               NS.Pending.push_back(pack(nextTime(T, T2, Req), Tid));
               continue;
             }
@@ -408,6 +415,11 @@ private:
         if (Sink)
           Sink->endShared();
         std::uint64_t NextKey = pack(Done + P.ExtraCycles, Tid);
+        // Retire before pushing the resume: the push's release pairs with
+        // the worker's acquire pop, ordering this write against the
+        // thread's next issue.
+        if (Ledger)
+          Ledger->retire(Tid, Key);
         std::uint64_t NewLB = std::min(NextKey, P.NodeLBAfter);
         // Sole LB writer while the node is stalled; the worker takes over
         // again only after popping the resume below.
@@ -436,6 +448,7 @@ private:
   bool LocalL2;
   bool Timing;
   TraceSink *Sink;
+  RequestLedger *Ledger;
   std::vector<PaddedKey> LB;
   std::vector<Worker *> OwnerOf;
   std::vector<std::unique_ptr<Worker>> Workers;
@@ -456,10 +469,11 @@ void offchip::runParallelLoop(Machine &M, const MachineConfig &Config,
                               std::vector<EngineThread> &Threads,
                               unsigned ThreadShift, SimResult &R,
                               std::uint64_t &LastTime, double &StreamSeconds,
-                              std::uint64_t &StreamCalls, TraceSink *Sink) {
+                              std::uint64_t &StreamCalls, TraceSink *Sink,
+                              RequestLedger *Ledger) {
   assert(Config.SimThreads >= 2 && Threads.size() >= 2 &&
          "parallel loop needs work to split");
-  ParallelRun Run(M, Config, Threads, ThreadShift, Sink);
+  ParallelRun Run(M, Config, Threads, ThreadShift, Sink, Ledger);
   // The merger writes shared-state metrics into its own result and the
   // caller's R already carries pre-sized vectors (NodeToMCTraffic), so the
   // merger accumulates directly into R instead.

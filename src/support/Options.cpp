@@ -4,8 +4,6 @@
 
 #include "support/Format.h"
 
-#include <cstdlib>
-
 using namespace offchip;
 
 OptionsParser::OptionsParser(std::string ToolName, std::string OverviewText)
@@ -22,12 +20,22 @@ void OptionsParser::flag(const std::string &Name, bool *Out,
 
 void OptionsParser::value(const std::string &Name, unsigned *Out,
                           const std::string &Help) {
+  // Hand-rolled digits-only parse. strtoul is the wrong contract here: it
+  // wraps "-1" to ULONG_MAX, saturates out-of-range values instead of
+  // failing, and skips leading whitespace — all of which silently turn user
+  // typos into huge thread/MC counts.
   custom(Name, "<N>",
          [Out](const std::string &V) {
-           char *End = nullptr;
-           unsigned long Parsed = std::strtoul(V.c_str(), &End, 10);
-           if (End == V.c_str() || *End != '\0')
+           if (V.empty())
              return false;
+           unsigned long long Parsed = 0;
+           for (char C : V) {
+             if (C < '0' || C > '9')
+               return false;
+             Parsed = Parsed * 10 + static_cast<unsigned>(C - '0');
+             if (Parsed > 0xFFFFFFFFull)
+               return false;
+           }
            *Out = static_cast<unsigned>(Parsed);
            return true;
          },

@@ -1,0 +1,7 @@
+//===- support/Pow2.cpp ---------------------------------------------------===//
+
+#include "support/Pow2.h"
+
+using namespace offchip;
+
+bool Pow2Divider::ForceGenericDivision = false;

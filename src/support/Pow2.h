@@ -29,12 +29,22 @@ public:
 
   explicit Pow2Divider(std::uint64_t Divisor) : D(Divisor) {
     assert(Divisor != 0 && "divider needs a positive divisor");
-    IsPow2 = isPowerOfTwo(Divisor);
+    IsPow2 = !ForceGenericDivision && isPowerOfTwo(Divisor);
     if (IsPow2) {
       Shift = log2Floor(Divisor);
       Mask = Divisor - 1;
     }
   }
+
+  /// Test-only: when set, dividers constructed afterwards take the generic
+  /// div/mod path even for power-of-two divisors. The differential fuzzer
+  /// and the fast-path equivalence tests use it to run the *same* config
+  /// down both decode paths; results must be bit-identical. Not
+  /// thread-safe — flip it only before any simulation threads exist.
+  static void setForceGenericDivision(bool Force) {
+    ForceGenericDivision = Force;
+  }
+  static bool forceGenericDivision() { return ForceGenericDivision; }
 
   std::uint64_t divisor() const { return D; }
 
@@ -49,6 +59,8 @@ public:
   }
 
 private:
+  static bool ForceGenericDivision; // defined in support/Pow2.cpp
+
   std::uint64_t D = 1;
   std::uint64_t Mask = 0;
   unsigned Shift = 0;

@@ -13,6 +13,8 @@
 
 #include "cache/Cache.h"
 #include "harness/Experiment.h"
+#include "sim/Engine.h"
+#include "sim/Metrics.h"
 #include "sim/ThreadStream.h"
 #include "support/FlatMap.h"
 #include "support/Pow2.h"
@@ -61,6 +63,43 @@ TEST(Pow2DividerTest, DefaultIsDivisorOne) {
   EXPECT_EQ(Div.divisor(), 1u);
   EXPECT_EQ(Div.div(12345), 12345u);
   EXPECT_EQ(Div.mod(12345), 0u);
+}
+
+TEST(Pow2DividerTest, ForceGenericDivisionStillCorrect) {
+  // The fuzzer's fast-vs-slow leg relies on this switch: dividers built
+  // while it is set must take the generic path even for power-of-two
+  // divisors, and still agree with hardware div/mod everywhere.
+  Pow2Divider::setForceGenericDivision(true);
+  Pow2Divider Forced(256);
+  Pow2Divider::setForceGenericDivision(false);
+  Pow2Divider Fast(256);
+  SplitMix64 Rng(9);
+  for (int I = 0; I < 10000; ++I) {
+    std::uint64_t X = Rng.next();
+    ASSERT_EQ(Forced.div(X), X / 256);
+    ASSERT_EQ(Forced.mod(X), X % 256);
+    ASSERT_EQ(Forced.div(X), Fast.div(X));
+    ASSERT_EQ(Forced.mod(X), Fast.mod(X));
+  }
+}
+
+TEST(Pow2DividerTest, WholeSimulationMatchesGenericDivision) {
+  // End to end: a full run of the scaled machine with every shift/mask
+  // decode replaced by hardware div/mod must reproduce the fast build's
+  // results bit for bit. Power-of-two geometry everywhere makes this the
+  // maximally-divergent comparison (every divider switches paths).
+  AppModel App = buildApp("swim", 0.25);
+  LayoutPlan Plan = LayoutTransformer::originalPlan(App.Program);
+  MachineConfig Config = MachineConfig::scaledDefault();
+  ClusterMapping Mapping = makeM1Mapping(Config);
+
+  SimResult Fast = runSingle(App.Program, Plan, Config, Mapping);
+  Pow2Divider::setForceGenericDivision(true);
+  SimResult Slow = runSingle(App.Program, Plan, Config, Mapping);
+  Pow2Divider::setForceGenericDivision(false);
+
+  std::string Why;
+  EXPECT_TRUE(equalResults(Fast, Slow, &Why)) << "diverged on " << Why;
 }
 
 //===----------------------------------------------------------------------===//

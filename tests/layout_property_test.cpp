@@ -70,6 +70,12 @@ TEST_P(PrivateLayoutProperty, BijectiveAndMCCorrect) {
       {4, 4, 4, 1, MCPlacementKind::Corners},
       {4, 8, 4, 1, MCPlacementKind::Corners},
       {8, 8, 8, 1, MCPlacementKind::TopBottomSpread},
+      // All four MCs in one group: a single cluster sequence, the largest
+      // k*p run (every unit of a run on a different MC).
+      {8, 8, 4, 4, MCPlacementKind::Corners},
+      // Two corner MCs: the placement-spread edge case that used to divide
+      // by zero before the validate()/placement sweep.
+      {4, 4, 2, 1, MCPlacementKind::Corners},
   };
   const Geometry &G = Geos[GeoIdx];
   ClusterMapping Mapping = makeMapping(G);
@@ -132,8 +138,71 @@ TEST_P(PrivateLayoutProperty, BijectiveAndMCCorrect) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, PrivateLayoutProperty,
-    ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 4),
+    ::testing::Combine(::testing::Range(0, 7), ::testing::Range(0, 4),
                        ::testing::Range(0, 2), ::testing::Range(0, 3)));
+
+//===----------------------------------------------------------------------===//
+// Padding when k*p does not divide the fast extent
+//===----------------------------------------------------------------------===//
+
+TEST(PrivateLayoutPadding, FootprintAccountsForRunRoundUpExactly) {
+  // The allocation must be exactly numCores * FastExtent elements, where
+  // FastExtent is the 3b-budgeted per-block fast axis rounded up to whole
+  // k*p runs — the round-up is the Section 5.3 padding, and nothing else
+  // may be hiding in the footprint.
+  const Geometry Geos[] = {
+      {8, 8, 4, 2, MCPlacementKind::Corners},
+      {8, 8, 4, 4, MCPlacementKind::Corners},
+      {4, 4, 2, 1, MCPlacementKind::Corners},
+  };
+  // 24 elements/unit models the non-power-of-two 192-byte L2 line over
+  // 8-byte elements; 48 a k*p run that rarely divides the block.
+  const unsigned Units[] = {24, 32, 48};
+  for (const Geometry &G : Geos) {
+    ClusterMapping Mapping = makeMapping(G);
+    for (unsigned Unit : Units) {
+      ArrayDecl Decl{"a", {61, 37}, 8}; // non-divisible extents
+      PrivateL2Layout L(Decl, IntMatrix::identity(2), Mapping, Unit, 0);
+      std::int64_t RunElems = static_cast<std::int64_t>(G.K) * Unit;
+      ASSERT_EQ(L.runElems(), RunElems);
+      std::int64_t BlockElems = 3 * L.blockSize() * 37;
+      std::int64_t FastExtent =
+          (BlockElems + RunElems - 1) / RunElems * RunElems;
+      EXPECT_EQ(L.sizeInElements(),
+                static_cast<std::uint64_t>(G.MeshX) * G.MeshY * FastExtent)
+          << "geometry " << G.MeshX << "x" << G.MeshY << " k=" << G.K
+          << " unit=" << Unit;
+      EXPECT_GE(L.sizeInElements(), Decl.numElements());
+    }
+  }
+}
+
+TEST(PrivateLayoutPadding, PadHolesNeverAliasAnotherMCsRegion) {
+  // The compiler-guided page-hint pass (sim/AddressMap.cpp) consults
+  // desiredMCForOffset for *every* page of the padded allocation, pad holes
+  // included. Every offset — addressed or pad — must claim an MC of the
+  // run's own cluster group, cycling its k units over exactly that group.
+  const Geometry G = {8, 8, 4, 2, MCPlacementKind::Corners};
+  ClusterMapping Mapping = makeMapping(G);
+  for (unsigned Unit : {24u, 32u}) {
+    ArrayDecl Decl{"a", {61, 37}, 8};
+    PrivateL2Layout L(Decl, IntMatrix::identity(2), Mapping, Unit, 0);
+    std::int64_t RunElems = L.runElems();
+    for (std::uint64_t Off = 0; Off < L.sizeInElements(); Off += 7) {
+      int Desired = L.desiredMCForOffset(Off);
+      ASSERT_GE(Desired, 0);
+      ASSERT_LT(Desired, static_cast<int>(G.NumMCs));
+      // Within a run, the group is constant and unit j takes MC group*k+j.
+      std::uint64_t RunStart =
+          Off / RunElems * static_cast<std::uint64_t>(RunElems);
+      int GroupBase = L.desiredMCForOffset(RunStart);
+      std::uint64_t J = (Off % RunElems) / Unit;
+      ASSERT_EQ(static_cast<std::uint64_t>(Desired),
+                static_cast<std::uint64_t>(GroupBase) + J)
+          << "offset " << Off;
+    }
+  }
+}
 
 //===----------------------------------------------------------------------===//
 // Shared layout sweep

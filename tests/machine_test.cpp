@@ -152,6 +152,134 @@ TEST(Machine, FinalizeFillsMemoryStatistics) {
   EXPECT_EQ(Sum, Rig_.R.OffChipAccesses);
 }
 
+//===----------------------------------------------------------------------===//
+// MachineConfig::validate() boundary sweep
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// True when validate() reports at least one diagnostic naming \p Field.
+bool rejectsWith(const MachineConfig &C, const std::string &Field) {
+  for (const ConfigDiagnostic &D : C.validate())
+    if (D.Field == Field)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(ConfigValidate, DefaultsAreClean) {
+  EXPECT_TRUE(MachineConfig::scaledDefault().validate().empty());
+  EXPECT_TRUE(MachineConfig::paperDefault().validate().empty());
+}
+
+TEST(ConfigValidate, RejectsDegenerateMeshes) {
+  // Each of these crashed a constructor before validate() existed: 0-wide
+  // meshes divide by zero in the mapping, 1-wide ones underflow the
+  // placement arithmetic, and >64 nodes overflow the directory's bitmask.
+  MachineConfig C = MachineConfig::scaledDefault();
+  C.MeshX = 0;
+  EXPECT_TRUE(rejectsWith(C, "MeshX"));
+  C.MeshX = 1;
+  EXPECT_TRUE(rejectsWith(C, "MeshX"));
+  C = MachineConfig::scaledDefault();
+  C.MeshY = 0;
+  EXPECT_TRUE(rejectsWith(C, "MeshY"));
+  C = MachineConfig::scaledDefault();
+  C.MeshX = 16;
+  C.MeshY = 16;
+  EXPECT_TRUE(rejectsWith(C, "MeshX*MeshY"));
+}
+
+TEST(ConfigValidate, RejectsZeroCacheGeometry) {
+  MachineConfig C = MachineConfig::scaledDefault();
+  C.L1LineBytes = 0;
+  EXPECT_TRUE(rejectsWith(C, "L1LineBytes"));
+  C = MachineConfig::scaledDefault();
+  C.L1Ways = 0;
+  EXPECT_TRUE(rejectsWith(C, "L1Ways"));
+  C = MachineConfig::scaledDefault();
+  C.L2SizeBytes = C.L2LineBytes * C.L2Ways + 1; // not a whole set count
+  EXPECT_TRUE(rejectsWith(C, "L2SizeBytes"));
+}
+
+TEST(ConfigValidate, RejectsLineStraddle) {
+  MachineConfig C = MachineConfig::scaledDefault();
+  C.L1LineBytes = 48; // 256 % 48 != 0: an L1 line would straddle L2 lines
+  EXPECT_TRUE(rejectsWith(C, "L2LineBytes"));
+}
+
+TEST(ConfigValidate, RejectsBadPageGeometry) {
+  MachineConfig C = MachineConfig::scaledDefault();
+  C.PageBytes = 0;
+  EXPECT_TRUE(rejectsWith(C, "PageBytes"));
+  C.PageBytes = 3000; // not a power of two
+  EXPECT_TRUE(rejectsWith(C, "PageBytes"));
+  C = MachineConfig::scaledDefault();
+  C.Granularity = InterleaveGranularity::Page;
+  C.BytesPerMC = C.PageBytes / 2;
+  EXPECT_TRUE(rejectsWith(C, "BytesPerMC"));
+}
+
+TEST(ConfigValidate, RejectsBadMcCounts) {
+  MachineConfig C = MachineConfig::scaledDefault();
+  C.NumMCs = 0;
+  EXPECT_TRUE(rejectsWith(C, "NumMCs"));
+  C = MachineConfig::scaledDefault();
+  C.NumMCs = 128; // the per-page MC hint is an int8
+  EXPECT_TRUE(rejectsWith(C, "NumMCs"));
+  C = MachineConfig::scaledDefault();
+  C.Placement = MCPlacementKind::EdgeMidpoints;
+  C.NumMCs = 6; // EdgeMidpoints is exactly 4
+  EXPECT_TRUE(rejectsWith(C, "NumMCs"));
+  C = MachineConfig::scaledDefault();
+  C.Placement = MCPlacementKind::TopBottomSpread;
+  C.NumMCs = 3; // odd counts cannot split across two edges
+  EXPECT_TRUE(rejectsWith(C, "NumMCs"));
+}
+
+TEST(ConfigValidate, AcceptsTwoCornerMcs) {
+  // NumMCs == 2 under Corners used to divide by zero in the placement
+  // spread; it is a legal machine and must both validate and simulate.
+  MachineConfig C = MachineConfig::scaledDefault();
+  C.NumMCs = 2;
+  EXPECT_TRUE(C.validate().empty());
+  Rig Rig_(C);
+  Rig_.M.access(0, 0x10000, false, 0, Rig_.R);
+  Rig_.M.finalize(Rig_.R, 1000);
+  EXPECT_EQ(Rig_.R.OffChipAccesses, 1u);
+}
+
+TEST(ConfigValidate, RejectsZeroNocAndDramGeometry) {
+  MachineConfig C = MachineConfig::scaledDefault();
+  C.Noc.LinkBytes = 0;
+  EXPECT_TRUE(rejectsWith(C, "Noc.LinkBytes"));
+  C = MachineConfig::scaledDefault();
+  C.Dram.Banks = 0;
+  EXPECT_TRUE(rejectsWith(C, "Dram.Banks"));
+  C = MachineConfig::scaledDefault();
+  C.Dram.RowBufferBytes = 0;
+  EXPECT_TRUE(rejectsWith(C, "Dram.RowBufferBytes"));
+  C = MachineConfig::scaledDefault();
+  C.ThreadsPerCore = 0;
+  EXPECT_TRUE(rejectsWith(C, "ThreadsPerCore"));
+}
+
+TEST(ConfigValidate, DiagnosticsCarryValueConstraintAndFix) {
+  MachineConfig C = MachineConfig::scaledDefault();
+  C.MeshX = 0;
+  std::vector<ConfigDiagnostic> Diags = C.validate();
+  ASSERT_FALSE(Diags.empty());
+  const ConfigDiagnostic &D = Diags.front();
+  EXPECT_EQ(D.Field, "MeshX");
+  EXPECT_EQ(D.Value, "0");
+  EXPECT_FALSE(D.Constraint.empty());
+  EXPECT_FALSE(D.Fix.empty());
+  EXPECT_NE(D.str().find("MeshX = 0"), std::string::npos);
+  EXPECT_NE(renderDiagnostics(Diags).find("invalid machine config: MeshX"),
+            std::string::npos);
+}
+
 TEST(Machine, AccessClassesPartitionTotals) {
   Rig Rig_(privateConfig());
   SplitMix64 Rng(3);

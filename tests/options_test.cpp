@@ -60,6 +60,33 @@ TEST(OptionsTest, RejectsNonNumericValue) {
   EXPECT_NE(Err.find("invalid value"), std::string::npos);
 }
 
+TEST(OptionsTest, UnsignedParsingIsDigitsOnly) {
+  // strtoul would silently accept all of these (wrapping "-1" to 2^32-1,
+  // ignoring leading whitespace, stopping at trailing garbage); the parser
+  // must reject every one with a diagnostic naming the value.
+  const char *BadValues[] = {"-1", "4294967296", " 5", "5 ", "5x", "+5",
+                             "0x10", ""};
+  for (const char *Bad : BadValues) {
+    OptionsParser P("tool", "overview");
+    unsigned N = 123;
+    P.value("--n", &N, "a number");
+    std::string Err;
+    EXPECT_FALSE(parse(P, {"--n", Bad}, &Err)) << "accepted '" << Bad << "'";
+    EXPECT_NE(Err.find("invalid value"), std::string::npos) << Bad;
+    EXPECT_EQ(N, 123u) << "wrote through on rejected '" << Bad << "'";
+  }
+}
+
+TEST(OptionsTest, UnsignedParsingAcceptsFullRange) {
+  OptionsParser P("tool", "overview");
+  unsigned N = 0;
+  P.value("--n", &N, "a number");
+  EXPECT_TRUE(parse(P, {"--n", "4294967295"}));
+  EXPECT_EQ(N, 4294967295u);
+  EXPECT_TRUE(parse(P, {"--n", "0"}));
+  EXPECT_EQ(N, 0u);
+}
+
 TEST(OptionsTest, CustomParserCanReject) {
   OptionsParser P("tool", "overview");
   unsigned X = 0, Y = 0;

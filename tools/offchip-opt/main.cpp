@@ -110,6 +110,15 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // Reject impossible machines with structured diagnostics while the
+  // mistake is still a command-line matter; the mapping and machine
+  // constructors below otherwise fault deep inside the derived geometry.
+  if (std::vector<ConfigDiagnostic> Diags = Config.validate();
+      !Diags.empty()) {
+    std::fprintf(stderr, "%s\n", renderDiagnostics(Diags).c_str());
+    return 2;
+  }
+
   std::string Text;
   if (Demo) {
     Text = Figure9Demo;
