@@ -1,0 +1,47 @@
+//===- api/ResultCache.cpp ------------------------------------------------===//
+
+#include "api/ResultCache.h"
+
+using namespace offchip;
+
+std::optional<SimResponse> ResultCache::lookup(const CacheKey &K) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(K);
+  if (It == Index.end()) {
+    ++Misses;
+    return std::nullopt;
+  }
+  ++Hits;
+  Order.splice(Order.begin(), Order, It->second);
+  return It->second->second;
+}
+
+void ResultCache::insert(const CacheKey &K, const SimResponse &Resp) {
+  if (Capacity == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(K);
+  if (It != Index.end()) {
+    It->second->second = Resp;
+    Order.splice(Order.begin(), Order, It->second);
+    return;
+  }
+  if (Order.size() >= Capacity) {
+    Index.erase(Order.back().first);
+    Order.pop_back();
+    ++Evictions;
+  }
+  Order.emplace_front(K, Resp);
+  Index.emplace(K, Order.begin());
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Stats S;
+  S.Hits = Hits;
+  S.Misses = Misses;
+  S.Evictions = Evictions;
+  S.Entries = Order.size();
+  S.Capacity = Capacity;
+  return S;
+}

@@ -1,0 +1,108 @@
+//===- api/Service.cpp ----------------------------------------------------===//
+
+#include "api/Service.h"
+
+#include "api/Execute.h"
+
+#include <future>
+#include <memory>
+#include <utility>
+
+using namespace offchip;
+
+SimService::SimService(ServiceOptions Opts, Executor Exec)
+    : Opts(Opts), Exec(Exec ? std::move(Exec)
+                            : [](const SimRequest &R) {
+                                return executeRequest(R, /*Jobs=*/1);
+                              }),
+      Cache(Opts.CacheCapacity), Pool(Opts.Workers) {}
+
+SimService::~SimService() { drain(); }
+
+void SimService::submit(SimRequest R, DoneFn Done) {
+  bool Reject = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Pending >= Opts.QueueDepth) {
+      ++Rejected;
+      Reject = true;
+    } else {
+      ++Pending;
+      ++Admitted;
+    }
+  }
+  if (Reject) {
+    // Answer on the caller's thread — admission control must stay cheap
+    // and never wait for a worker — but outside Mu: the callback may take
+    // locks of its own, and holding Mu across it would order them against
+    // every other service operation.
+    SimResponse Resp;
+    Resp.Id = R.Id;
+    Resp.Status = ResponseStatus::Overloaded;
+    Done(std::move(Resp));
+    return;
+  }
+  auto Shared = std::make_shared<std::pair<SimRequest, DoneFn>>(
+      std::move(R), std::move(Done));
+  Pool.submit([this, Shared]() {
+    process(Shared->first, Shared->second);
+    std::lock_guard<std::mutex> Lock(Mu);
+    --Pending;
+    ++Completed;
+    if (Pending == 0)
+      Idle.notify_all();
+  });
+}
+
+void SimService::process(const SimRequest &R, const DoneFn &Done) {
+  CacheKey Key = requestKey(R);
+  // Tracing requests must actually run (the trace files are the point), so
+  // they bypass the lookup; their computed result still refreshes the
+  // cache for everyone else.
+  if (R.TracePrefix.empty()) {
+    if (std::optional<SimResponse> Hit = Cache.lookup(Key)) {
+      Hit->Id = R.Id;
+      Hit->CacheHit = true;
+      Hit->Key = Key.str();
+      Done(std::move(*Hit));
+      return;
+    }
+  }
+  SimResponse Resp = Exec(R);
+  if (Resp.ok()) {
+    // Store a client-neutral copy; lookup() re-stamps per-request fields.
+    SimResponse Entry = Resp;
+    Entry.Id.clear();
+    Entry.CacheHit = false;
+    Entry.Key.clear();
+    Cache.insert(Key, Entry);
+  }
+  Resp.CacheHit = false;
+  Resp.Key = Key.str();
+  Done(std::move(Resp));
+}
+
+SimResponse SimService::call(SimRequest R) {
+  std::promise<SimResponse> Promise;
+  std::future<SimResponse> Future = Promise.get_future();
+  submit(std::move(R),
+         [&Promise](SimResponse Resp) { Promise.set_value(std::move(Resp)); });
+  return Future.get();
+}
+
+void SimService::drain() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Idle.wait(Lock, [this] { return Pending == 0; });
+}
+
+SimService::Stats SimService::stats() const {
+  Stats S;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    S.Admitted = Admitted;
+    S.Rejected = Rejected;
+    S.Completed = Completed;
+  }
+  S.Cache = Cache.stats();
+  return S;
+}

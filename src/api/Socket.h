@@ -1,0 +1,44 @@
+//===- api/Socket.h - Small POSIX TCP helpers -------------------*- C++ -*-===//
+///
+/// \file
+/// The few socket primitives the line protocol needs, shared by the server,
+/// the storm driver and the tests: connect-by-host-and-port, write-all, and
+/// a buffered newline-delimited reader. Everything reports errors as
+/// strings; nothing throws.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_API_SOCKET_H
+#define OFFCHIP_API_SOCKET_H
+
+#include <string>
+
+namespace offchip {
+
+/// Connects a TCP socket to \p Host : \p Port. Returns the connected fd,
+/// or -1 with \p Err set.
+int connectTcp(const std::string &Host, unsigned Port, std::string *Err);
+
+/// Writes all of \p Data to \p Fd, retrying short writes. False on error.
+bool sendAll(int Fd, const std::string &Data);
+
+/// Buffered reader yielding one '\n'-terminated line at a time (the
+/// terminator and any trailing '\r' are stripped).
+class LineReader {
+public:
+  explicit LineReader(int Fd) : Fd(Fd) {}
+
+  /// Reads the next line into \p Line. Returns false on EOF or error; a
+  /// final unterminated line is still delivered before EOF is reported.
+  bool readLine(std::string *Line);
+
+private:
+  int Fd;
+  std::string Buf;
+  std::size_t Pos = 0;
+  bool Eof = false;
+};
+
+} // namespace offchip
+
+#endif // OFFCHIP_API_SOCKET_H

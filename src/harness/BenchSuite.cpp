@@ -4,6 +4,7 @@
 
 #include "support/Error.h"
 #include "support/Format.h"
+#include "workloads/WorkloadFactory.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -249,7 +250,8 @@ BenchSuite::BenchSuite(std::string IdText, std::string ClaimText,
                   AppsGiven = true;
                   return true;
                 },
-                "comma-separated subset of apps to sweep");
+                "comma-separated subset of apps to sweep (registered: " +
+                    WorkloadFactory::instance().namesHelp() + ")");
 }
 
 BenchSuite::~BenchSuite() { finish(); }

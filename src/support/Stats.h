@@ -40,6 +40,22 @@ public:
 
   void reset() { *this = Accumulator(); }
 
+  /// Reconstructs an accumulator from its exposed moments (the inverse of
+  /// serializing count/sum/min/max, e.g. over the service wire protocol).
+  /// A zero \p Count yields the empty accumulator regardless of the other
+  /// arguments.
+  static Accumulator fromMoments(std::uint64_t Count, double Sum, double Min,
+                                 double Max) {
+    Accumulator A;
+    if (Count == 0)
+      return A;
+    A.Count = Count;
+    A.Sum = Sum;
+    A.Min = Min;
+    A.Max = Max;
+    return A;
+  }
+
 private:
   double Sum = 0.0;
   double Min = 0.0;
@@ -74,6 +90,23 @@ public:
   double mean() const;
 
   void reset();
+
+  /// The overflow cap this histogram was constructed with (samples beyond
+  /// it land in the last bucket).
+  unsigned cap() const { return MaxBucket; }
+
+  /// Reconstructs a histogram from its bucket counts (the inverse of
+  /// serializing cap + countAt(0..maxNonEmptyBucket), e.g. over the service
+  /// wire protocol). Equivalent to replaying every sample, without the
+  /// replay.
+  static IntHistogram fromBuckets(unsigned Cap,
+                                  std::vector<std::uint64_t> Buckets) {
+    IntHistogram H(Cap);
+    H.Buckets = std::move(Buckets);
+    for (std::uint64_t C : H.Buckets)
+      H.Total += C;
+    return H;
+  }
 
 private:
   unsigned MaxBucket;

@@ -42,12 +42,16 @@ struct AppModel {
   explicit AppModel(std::string Name) : Program(std::move(Name)) {}
 };
 
-/// Names of all 13 modeled applications, in the paper's presentation order.
+/// Names of all registered applications, in registration order (the
+/// paper's presentation order for the 13 built-ins). Thin wrapper over
+/// WorkloadFactory::instance().names().
 const std::vector<std::string> &appNames();
 
-/// Builds the named application model. \p SizeScale scales array extents
-/// (1.0 = the default scaled-machine sizing); values below ~0.25 are
-/// clamped per dimension to keep programs non-degenerate.
+/// Builds the named application model through the workload registry
+/// (workloads/WorkloadFactory.h); aborts on unknown names — use
+/// WorkloadFactory::tryBuild for a recoverable lookup. \p SizeScale scales
+/// array extents (1.0 = the default scaled-machine sizing); values below
+/// ~0.25 are clamped per dimension to keep programs non-degenerate.
 AppModel buildApp(const std::string &Name, double SizeScale = 1.0);
 
 /// The multiprogrammed workload mixes of Figure 25 (lists of app names).

@@ -1,0 +1,55 @@
+//===- workloads/WorkloadFactory.cpp --------------------------------------===//
+
+#include "workloads/WorkloadFactory.h"
+
+#include "support/Error.h"
+
+using namespace offchip;
+
+WorkloadFactory &WorkloadFactory::instance() {
+  static WorkloadFactory F;
+  return F;
+}
+
+void WorkloadFactory::registerWorkload(std::string Name, std::string Summary,
+                                       Builder B) {
+  if (Entries.count(Name))
+    reportFatalError("duplicate workload registration");
+  Names.push_back(Name);
+  Entries.emplace(std::move(Name), Entry{std::move(Summary), std::move(B)});
+}
+
+bool WorkloadFactory::contains(const std::string &Name) const {
+  return Entries.count(Name) != 0;
+}
+
+std::optional<AppModel> WorkloadFactory::tryBuild(const std::string &Name,
+                                                  double SizeScale) const {
+  auto It = Entries.find(Name);
+  if (It == Entries.end())
+    return std::nullopt;
+  AppModel M = It->second.Build(SizeScale);
+  M.Summary = It->second.Summary;
+  return M;
+}
+
+const std::string &WorkloadFactory::summaryOf(const std::string &Name) const {
+  static const std::string Empty;
+  auto It = Entries.find(Name);
+  return It == Entries.end() ? Empty : It->second.Summary;
+}
+
+std::string WorkloadFactory::namesHelp() const {
+  std::string Out;
+  for (const std::string &N : Names) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += N;
+  }
+  return Out;
+}
+
+WorkloadRegistrar::WorkloadRegistrar(const char *Name, const char *Summary,
+                                     WorkloadFactory::Builder B) {
+  WorkloadFactory::instance().registerWorkload(Name, Summary, std::move(B));
+}

@@ -1,0 +1,87 @@
+//===- workloads/WorkloadFactory.h - Self-registering app registry -*- C++ -*-===//
+///
+/// \file
+/// A registry of application-model builders. Workload translation units
+/// register their builders at static-initialization time through
+/// OFFCHIP_REGISTER_WORKLOAD, and every consumer — the tools' --apps flags,
+/// the bench harness, the optimization service's workload resolution —
+/// enumerates or builds apps through the registry instead of a hard-coded
+/// dispatch ladder, so adding an app is one new registration, not an edit
+/// in every tool.
+///
+/// Summaries are registered alongside the builders so listings (daemon
+/// `apps` method, generated help text) never have to construct a model —
+/// building one materializes its index arrays, which is far too heavy for
+/// printing a help line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OFFCHIP_WORKLOADS_WORKLOADFACTORY_H
+#define OFFCHIP_WORKLOADS_WORKLOADFACTORY_H
+
+#include "workloads/AppModel.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace offchip {
+
+class WorkloadFactory {
+public:
+  /// Builds the model at the given size scale (1.0 = default sizing).
+  using Builder = std::function<AppModel(double SizeScale)>;
+
+  /// The process-wide registry. Registration happens during static
+  /// initialization (single-threaded); lookups afterwards are read-only.
+  static WorkloadFactory &instance();
+
+  /// Registers \p Name. Re-registering an existing name is a programmer
+  /// error and aborts.
+  void registerWorkload(std::string Name, std::string Summary, Builder B);
+
+  bool contains(const std::string &Name) const;
+
+  /// Builds the named model, stamping the registered summary into
+  /// AppModel::Summary; std::nullopt when the name is unknown.
+  std::optional<AppModel> tryBuild(const std::string &Name,
+                                   double SizeScale = 1.0) const;
+
+  /// Registered names, in registration order (the paper's presentation
+  /// order for the built-in apps).
+  const std::vector<std::string> &names() const { return Names; }
+
+  /// Registered one-line summary; empty for unknown names.
+  const std::string &summaryOf(const std::string &Name) const;
+
+  /// "wupwise, swim, mgrid, ..." — for generated --apps help text.
+  std::string namesHelp() const;
+
+private:
+  struct Entry {
+    std::string Summary;
+    Builder Build;
+  };
+
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, Entry> Entries;
+};
+
+/// Performs one registration at static-initialization time; instantiate via
+/// OFFCHIP_REGISTER_WORKLOAD.
+struct WorkloadRegistrar {
+  WorkloadRegistrar(const char *Name, const char *Summary,
+                    WorkloadFactory::Builder B);
+};
+
+/// Registers builder \p BUILDER (callable taking double SizeScale) under
+/// the app name \p NAME (a bare identifier, stringified).
+#define OFFCHIP_REGISTER_WORKLOAD(NAME, SUMMARY, BUILDER)                      \
+  static const ::offchip::WorkloadRegistrar RegisterWorkload_##NAME{           \
+      #NAME, SUMMARY, BUILDER}
+
+} // namespace offchip
+
+#endif // OFFCHIP_WORKLOADS_WORKLOADFACTORY_H

@@ -7,15 +7,18 @@
 /// transformed source (Figure 9c), and optionally an original-vs-optimized
 /// simulation.
 ///
+/// The work happens through the service API (api/Execute.h): this tool
+/// builds the same SimRequest a network client of offchip-serve would
+/// send, and renders the SimResponse — the CLI and the daemon share one
+/// validated execution path.
+///
 /// Usage:
 ///   offchip-opt [options] <program.txt>
 ///   offchip-opt --demo                     # run the built-in Figure 9 demo
 ///
 //===----------------------------------------------------------------------===//
 
-#include "affine/ProgramText.h"
-#include "core/CodeGen.h"
-#include "harness/Runner.h"
+#include "api/Execute.h"
 #include "sim/Report.h"
 #include "support/Options.h"
 
@@ -43,8 +46,9 @@ end
 } // namespace
 
 int main(int Argc, char **Argv) {
-  MachineConfig Config = MachineConfig::scaledDefault();
-  unsigned MCsPerCluster = 1;
+  SimRequest Request;
+  Request.Kind = RequestKind::Optimize;
+  MachineConfig &Config = Request.Config;
   unsigned Jobs = 1;
   bool EmitCode = false, Simulate = false, Csv = false, Demo = false;
   bool Trace = false;
@@ -65,7 +69,7 @@ int main(int Argc, char **Argv) {
                  },
                  "mesh size (default 8x8)");
   Options.value("--mcs", &Config.NumMCs, "memory controllers (default 4)");
-  Options.value("--mcs-per-cluster", &MCsPerCluster,
+  Options.value("--mcs-per-cluster", &Request.MCsPerCluster,
                 "MCs per cluster, mapping M2 style (default 1)");
   Options.flag("--shared-l2", &Config.SharedL2,
                "SNUCA shared L2 instead of private slices");
@@ -111,17 +115,16 @@ int main(int Argc, char **Argv) {
   }
 
   // Reject impossible machines with structured diagnostics while the
-  // mistake is still a command-line matter; the mapping and machine
-  // constructors below otherwise fault deep inside the derived geometry.
+  // mistake is still a command-line matter — before touching the program
+  // file, exactly as this tool always has.
   if (std::vector<ConfigDiagnostic> Diags = Config.validate();
       !Diags.empty()) {
     std::fprintf(stderr, "%s\n", renderDiagnostics(Diags).c_str());
     return 2;
   }
 
-  std::string Text;
   if (Demo) {
-    Text = Figure9Demo;
+    Request.Workload.ProgramText = Figure9Demo;
   } else {
     const std::string &Path = Options.positional().front();
     std::ifstream In(Path);
@@ -131,72 +134,47 @@ int main(int Argc, char **Argv) {
     }
     std::stringstream SS;
     SS << In.rdbuf();
-    Text = SS.str();
+    Request.Workload.ProgramText = SS.str();
   }
 
-  std::optional<AffineProgram> Program = parseProgramText(Text, &Err);
-  if (!Program) {
-    std::fprintf(stderr, "error: %s\n", Err.c_str());
+  if (Simulate) {
+    Request.Kind = RequestKind::Simulate;
+    if (Trace)
+      Request.TracePrefix = TraceOut;
+  }
+
+  SimResponse Resp = executeRequest(Request, Jobs);
+  if (!Resp.ok()) {
+    if (!Resp.Diagnostics.empty())
+      std::fprintf(stderr, "%s\n", renderDiagnostics(Resp.Diagnostics).c_str());
+    else
+      std::fprintf(stderr, "error: %s\n", Resp.ErrorText.c_str());
     return 1;
   }
+  const PlanSummary &Plan = Resp.Plan;
 
-  ClusterMapping Mapping = MCsPerCluster == 1
-                               ? makeM1Mapping(Config)
-                               : makeM2Mapping(Config, MCsPerCluster);
-  std::printf("program:  %s\n", Program->name().c_str());
+  std::printf("program:  %s\n", Plan.ProgramName.c_str());
   std::printf("machine:  %s\n", Config.summary().c_str());
   std::printf("mapping:  %u clusters of %ux%u cores, %u MC(s) each\n\n",
-              Mapping.numClusters(), Mapping.coresPerClusterX(),
-              Mapping.coresPerClusterY(), Mapping.mcsPerCluster());
-
-  LayoutTransformer Pass(Mapping, Config.layoutOptions());
-  LayoutPlan Plan = Pass.run(*Program);
+              Plan.NumClusters, Plan.CoresPerClusterX, Plan.CoresPerClusterY,
+              Plan.MCsPerCluster);
 
   std::printf("%-16s %-10s %-22s %s\n", "array", "decision", "U", "note");
-  for (ArrayId Id = 0; Id < Program->numArrays(); ++Id) {
-    const ArrayLayoutResult &R = Plan.PerArray[Id];
-    if (!R.Accessed)
-      continue;
-    std::printf("%-16s %-10s %-22s %s\n",
-                Program->array(Id).Name.c_str(),
-                R.Optimized ? "optimized" : "kept",
-                R.Optimized ? R.U.toString().c_str() : "-",
-                R.Note.c_str());
-  }
+  for (const PlanArrayRow &Row : Plan.Arrays)
+    std::printf("%-16s %-10s %-22s %s\n", Row.Name.c_str(),
+                Row.Optimized ? "optimized" : "kept", Row.U.c_str(),
+                Row.Note.c_str());
   std::printf("\narrays optimized: %.0f%%, references satisfied: %.0f%%\n",
-              100.0 * Plan.arraysOptimizedFraction(),
-              100.0 * Plan.refsSatisfiedFraction());
+              100.0 * Plan.ArraysOptimizedFraction,
+              100.0 * Plan.RefsSatisfiedFraction);
 
   if (EmitCode)
     std::printf("\n==== transformed source ====\n%s\n",
-                emitProgram(*Program, Plan).c_str());
+                Plan.TransformedSource.c_str());
 
   if (Simulate) {
-    // The original and optimized runs are independent; fan them across the
-    // runner and join before printing so output stays identical to serial.
-    MachineConfig OptConfig = Config;
-    if (Config.Granularity == InterleaveGranularity::Page)
-      OptConfig.PagePolicy = PageAllocPolicy::CompilerGuided;
-    if (Trace) {
-      Config.Trace.Enabled = true;
-      Config.Trace.ChromeOutPath = TraceOut + "-original.trace.json";
-      Config.Trace.SeriesOutPath = TraceOut + "-original.series.csv";
-      OptConfig.Trace.Enabled = true;
-      OptConfig.Trace.ChromeOutPath = TraceOut + "-optimized.trace.json";
-      OptConfig.Trace.SeriesOutPath = TraceOut + "-optimized.series.csv";
-    }
-    ExperimentRunner Runner(Jobs);
-    SimFuture BaseF = Runner.submit(
-        [&Program, &Config, &Mapping]() -> SimResult {
-          LayoutPlan Original = LayoutTransformer::originalPlan(*Program);
-          return runSingle(*Program, Original, Config, Mapping);
-        });
-    SimFuture OptF = Runner.submit(
-        [&Program, &Plan, &OptConfig, &Mapping]() -> SimResult {
-          return runSingle(*Program, Plan, OptConfig, Mapping);
-        });
-    const SimResult &Base = BaseF.get();
-    const SimResult &Opt = OptF.get();
+    const SimResult &Base = *Resp.Original;
+    const SimResult &Opt = *Resp.Optimized;
     if (Csv) {
       std::printf("\n%s",
                   renderCsv({{"original", &Base}, {"optimized", &Opt}})

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Service smoke: boot offchip-serve on an ephemeral port, drive it with
+# offchip-storm --verify (every served response re-checked against a direct
+# in-process run), then SIGTERM the daemon and require a graceful drain —
+# exit 0 and the "drained" summary line. Usage:
+#   serve_smoke.sh <offchip-serve> <offchip-storm> <workdir>
+set -u
+
+# Resolve the binaries before cd'ing into the work dir so relative paths
+# keep working.
+SERVE=$(realpath "$1")
+STORM=$(realpath "$2")
+WORK=$3
+
+mkdir -p "$WORK"
+cd "$WORK"
+rm -f port.txt serve.log BENCH_serve.json
+
+"$SERVE" --port 0 --port-file port.txt --cache-entries 64 >serve.log 2>&1 &
+SERVE_PID=$!
+trap 'kill -9 $SERVE_PID 2>/dev/null' EXIT
+
+for _ in $(seq 1 100); do
+  [ -s port.txt ] && break
+  sleep 0.1
+done
+if [ ! -s port.txt ]; then
+  echo "FAIL: daemon never published its port" >&2
+  cat serve.log >&2
+  exit 1
+fi
+PORT=$(cat port.txt)
+
+if ! "$STORM" --port "$PORT" --levels 1,2 --requests 6 --verify \
+      --out BENCH_serve.json; then
+  echo "FAIL: storm reported errors or verify failures" >&2
+  exit 1
+fi
+
+kill -TERM $SERVE_PID
+RC=0
+wait $SERVE_PID || RC=$?
+trap - EXIT
+if [ $RC -ne 0 ]; then
+  echo "FAIL: daemon exited $RC after SIGTERM (want 0)" >&2
+  cat serve.log >&2
+  exit 1
+fi
+if ! grep -q "drained" serve.log; then
+  echo "FAIL: no drain summary in daemon output" >&2
+  cat serve.log >&2
+  exit 1
+fi
+if [ ! -s BENCH_serve.json ]; then
+  echo "FAIL: storm wrote no BENCH_serve.json" >&2
+  exit 1
+fi
+echo "serve smoke OK (port $PORT)"
