@@ -95,7 +95,45 @@ bool sameSimulatedResult(const SimResult &A, const SimResult &B) {
          A.MemLatency.sum() == B.MemLatency.sum() &&
          A.OffChipNetLatency.sum() == B.OffChipNetLatency.sum() &&
          A.ThreadFinishCycles == B.ThreadFinishCycles &&
-         A.NodeToMCTraffic == B.NodeToMCTraffic;
+         A.NodeToMCTraffic == B.NodeToMCTraffic &&
+         A.BurstTransactions == B.BurstTransactions &&
+         A.BurstLines == B.BurstLines;
+}
+
+/// Share of off-chip lines that travelled inside a coalesced burst: burst
+/// lines over all lines the MCs transferred (OffChipAccesses counts each
+/// burst once, as its trigger).
+double coalescedPct(const SimResult &R) {
+  std::uint64_t Lines =
+      R.OffChipAccesses - R.BurstTransactions + R.BurstLines;
+  return Lines ? 100.0 * static_cast<double>(R.BurstLines) /
+                     static_cast<double>(Lines)
+               : 0.0;
+}
+
+/// A contiguous record sweep: three arrays of 64-byte records (one record
+/// per cache line) read/read/written in one pass, so nearly every access
+/// opens a fresh line and the off-chip path dominates the host's work —
+/// the shape burst coalescing targets (a database scan or packet-buffer
+/// sweep, as opposed to the stencil reuse of the fig03 apps).
+AppModel makeRecordSweep(double Scale) {
+  AppModel M("recsweep");
+  AffineProgram &P = M.Program;
+  std::int64_t N = std::max<std::int64_t>(
+      4096, static_cast<std::int64_t>(400000.0 * Scale));
+  ArrayId In = P.addArray({"recs_in", {N}, 64});
+  ArrayId Aux = P.addArray({"recs_aux", {N}, 64});
+  ArrayId Out = P.addArray({"recs_out", {N}, 64});
+  IntMatrix I1(1, 1);
+  I1.at(0, 0) = 1;
+  LoopNest Sweep("sweep", IterationSpace({0}, {N}), 0);
+  Sweep.addRef(AffineRef(In, I1, {0}, false));
+  Sweep.addRef(AffineRef(Aux, I1, {0}, false));
+  Sweep.addRef(AffineRef(Out, I1, {0}, true));
+  P.addNest(std::move(Sweep));
+  M.ComputeGapCycles = 4;
+  M.MemDemandPerCore = 0.9;
+  return M;
 }
 
 } // namespace
@@ -143,13 +181,16 @@ int main(int Argc, char **Argv) {
   AppModel Wupwise = buildApp("wupwise", Scale);
   AppModel Swim = buildApp("swim", Scale);
   AppModel Mgrid = buildApp("mgrid", Scale);
+  AppModel Records = makeRecordSweep(Scale);
 
   // The fig25 swim+mgrid co-run: both apps share every node, cache-line
   // interleaving (the multiprogrammed contention case).
-  auto CoRun = [&](bool Timed, unsigned SimThreads) {
-    MachineConfig C = LineCfg;
-    C.CollectPhaseTimes = Timed;
-    C.SimThreads = SimThreads;
+  auto CoRun = [&](bool Burst) {
+    return [&, Burst](bool Timed, unsigned SimThreads) {
+      MachineConfig C = LineCfg;
+      C.CollectPhaseTimes = Timed;
+      C.SimThreads = SimThreads;
+      C.Burst.Enabled = Burst;
     std::vector<unsigned> AllNodes;
     for (unsigned T = 0; T < C.numNodes(); ++T)
       AllNodes.push_back(MLine.threadToNode(T));
@@ -160,16 +201,18 @@ int main(int Argc, char **Argv) {
     A1.Plan = &P1;
     A1.Nodes = AllNodes;
     A1.ComputeGapCycles = Swim.ComputeGapCycles;
-    A2.Program = &Mgrid.Program;
-    A2.Plan = &P2;
-    A2.Nodes = AllNodes;
-    A2.ComputeGapCycles = Mgrid.ComputeGapCycles;
-    return runSimulation({A1, A2}, C, MLine, nullptr);
+      A2.Program = &Mgrid.Program;
+      A2.Plan = &P2;
+      A2.Nodes = AllNodes;
+      A2.ComputeGapCycles = Mgrid.ComputeGapCycles;
+      return runSimulation({A1, A2}, C, MLine, nullptr);
+    };
   };
 
-  auto Variant = [&](const AppModel &App, RunVariant V, bool Traced = false) {
-    return [&App, &PageCfg, &MPage, V, Traced](bool Timed,
-                                               unsigned SimThreads) {
+  auto Variant = [&](const AppModel &App, RunVariant V, bool Traced = false,
+                     bool Burst = false) {
+    return [&App, &PageCfg, &MPage, V, Traced, Burst](bool Timed,
+                                                      unsigned SimThreads) {
       MachineConfig C = PageCfg;
       C.CollectPhaseTimes = Timed;
       C.SimThreads = SimThreads;
@@ -177,20 +220,44 @@ int main(int Argc, char **Argv) {
       // export I/O), so the delta vs the untraced row is the pure
       // instrumentation overhead.
       C.Trace.Enabled = Traced;
+      C.Burst.Enabled = Burst;
       return runVariant(App, C, MPage, V);
     };
   };
 
+  // Every base workload gets a burst=on twin (except the -traced row, whose
+  // point is the instrumentation delta): fewer simulated DRAM/NoC events
+  // per line moved, so the twin's macc_per_s is the coalescer's win.
   std::vector<Workload> Workloads = {
       {"fig03-wupwise", Variant(Wupwise, RunVariant::Original)},
+      {"fig03-wupwise+burst",
+       Variant(Wupwise, RunVariant::Original, false, true)},
       {"fig03-swim", Variant(Swim, RunVariant::Original)},
+      {"fig03-swim+burst", Variant(Swim, RunVariant::Original, false, true)},
       {"fig03-swim-traced", Variant(Swim, RunVariant::Original, true)},
       {"fig14-swim-opt", Variant(Swim, RunVariant::Optimized)},
-      {"fig25-swim+mgrid", CoRun},
+      {"fig14-swim-opt+burst",
+       Variant(Swim, RunVariant::Optimized, false, true)},
+      {"fig25-swim+mgrid", CoRun(false)},
+      {"fig25-swim+mgrid+burst", CoRun(true)},
+      {"stream-records", Variant(Records, RunVariant::Original)},
+      {"stream-records+burst",
+       Variant(Records, RunVariant::Original, false, true)},
   };
   std::vector<unsigned> SimThreadRows = {1, 2, 4, 8};
   if (SerialOnly)
     SimThreadRows = {1};
+
+  unsigned HostCores = std::thread::hardware_concurrency();
+  unsigned WidestRow =
+      *std::max_element(SimThreadRows.begin(), SimThreadRows.end());
+  if (WidestRow > 1 && HostCores < WidestRow + 1)
+    std::fprintf(stderr,
+                 "warning: host has %u hardware threads but the widest row "
+                 "wants %u workers plus the merger; parallel rows beyond "
+                 "sim_threads %u measure coordination overhead, not "
+                 "speedup\n",
+                 HostCores, WidestRow, HostCores > 1 ? HostCores - 1 : 1);
 
   std::string Capture;
   std::unique_ptr<OutputSink> Sink = makeJsonSink(&Capture);
@@ -198,7 +265,7 @@ int main(int Argc, char **Argv) {
               "simulator wall-clock throughput on fixed workloads "
               "(higher Macc/s is better; timings are host wall-clock)",
               PageCfg.summary());
-  Sink->columns({{"workload", 18},
+  Sink->columns({{"workload", 22},
                  {"sim_threads", 11},
                  {"seconds", 9},
                  {"median_s", 9},
@@ -206,6 +273,7 @@ int main(int Argc, char **Argv) {
                  {"repeats", 7},
                  {"macc_per_s", 11},
                  {"speedup", 8},
+                 {"coalesced_pct", 13},
                  {"accesses", 10},
                  {"exec_cycles", 12},
                  {"stream_s", 9},
@@ -240,6 +308,7 @@ int main(int Argc, char **Argv) {
                  formatString("%u", Repeats),
                  formatString("%.2f", Macc),
                  formatString("%.2f", SerialBest / M.BestSeconds),
+                 formatString("%.1f", coalescedPct(M.Result)),
                  formatString("%llu",
                               (unsigned long long)M.Result.TotalAccesses),
                  formatString("%llu",
@@ -265,8 +334,10 @@ int main(int Argc, char **Argv) {
       "measure the engine's coordination overhead instead; the -traced row "
       "repeats its base workload with --trace collection into the in-memory "
       "sink (no file export), so its slowdown vs the untraced row is the "
-      "tracing overhead",
-      Scale, Repeats, std::thread::hardware_concurrency()));
+      "tracing overhead; +burst rows rerun their base workload with "
+      "--burst-coalesce on, and coalesced_pct is the share of off-chip "
+      "lines that travelled inside a coalesced transaction",
+      Scale, Repeats, HostCores));
   Sink->end();
 
   if (OutPath.empty()) {

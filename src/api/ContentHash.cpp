@@ -109,6 +109,10 @@ CacheKey offchip::requestKey(const SimRequest &R) {
   H.u64(0x3B, C.DirectoryLatencyCycles);
   H.u64(0x3C, C.RequestBytes);
   H.u64(0x3D, C.OptimalScheme ? 1 : 0);
+  H.u64(0x3E, C.Burst.Enabled ? 1 : 0);
+  H.u64(0x3F, C.Burst.WindowAccesses);
+  H.u64(0x40, C.Burst.MaxLines);
+  H.u64(0x41, C.Dram.Timing.BurstBeatCycles);
 
   return H.key();
 }

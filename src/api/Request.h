@@ -135,6 +135,10 @@ struct SimResponse {
 
   /// True when this answer came from the content-addressed result cache.
   bool CacheHit = false;
+  /// True when this answer was merged onto another client's identical
+  /// in-flight request (single-flight): the simulation ran once and this
+  /// response repeats its result. Mutually exclusive with CacheHit.
+  bool Singleflight = false;
   /// The request's canonical content key (32 hex digits), reported so
   /// clients can correlate cache behaviour; empty for in-process runs that
   /// bypassed the cache entirely.

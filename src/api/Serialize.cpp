@@ -283,6 +283,11 @@ JsonValue offchip::toJson(const MachineConfig &C) {
         JsonValue::number(C.DirectoryLatencyCycles));
   O.set("request_bytes", JsonValue::number(C.RequestBytes));
   O.set("optimal_scheme", JsonValue::boolean(C.OptimalScheme));
+  O.set("burst_coalesce", JsonValue::boolean(C.Burst.Enabled));
+  O.set("burst_window_accesses", JsonValue::number(C.Burst.WindowAccesses));
+  O.set("burst_max_lines", JsonValue::number(C.Burst.MaxLines));
+  O.set("dram_burst_beat_cycles",
+        JsonValue::number(C.Dram.Timing.BurstBeatCycles));
   O.set("sim_threads", JsonValue::number(C.SimThreads));
   O.set("check_invariants", JsonValue::boolean(C.CheckInvariants));
   return O;
@@ -367,6 +372,14 @@ bool offchip::machineConfigFromJson(const JsonValue &V, MachineConfig *C,
       Ok = readU32(V, Key, &C->RequestBytes, Err);
     else if (Key == "optimal_scheme")
       Ok = readBool(V, Key, &C->OptimalScheme, Err);
+    else if (Key == "burst_coalesce")
+      Ok = readBool(V, Key, &C->Burst.Enabled, Err);
+    else if (Key == "burst_window_accesses")
+      Ok = readU32(V, Key, &C->Burst.WindowAccesses, Err);
+    else if (Key == "burst_max_lines")
+      Ok = readU32(V, Key, &C->Burst.MaxLines, Err);
+    else if (Key == "dram_burst_beat_cycles")
+      Ok = readU32(V, Key, &C->Dram.Timing.BurstBeatCycles, Err);
     else if (Key == "sim_threads")
       Ok = readU32(V, Key, &C->SimThreads, Err);
     else if (Key == "check_invariants")
@@ -409,6 +422,9 @@ JsonValue offchip::toJson(const SimResult &R) {
   O.set("per_mc_accesses", u64Array(R.PerMCAccesses));
   O.set("redirected_pages", JsonValue::number(R.RedirectedPages));
   O.set("allocated_pages", JsonValue::number(R.AllocatedPages));
+  O.set("burst_transactions", JsonValue::number(R.BurstTransactions));
+  O.set("burst_lines", JsonValue::number(R.BurstLines));
+  O.set("per_mc_lines", u64Array(R.PerMCLines));
   return O;
 }
 
@@ -445,7 +461,15 @@ bool offchip::simResultFromJson(const JsonValue &V, SimResult *R,
                       Err) &&
          readU64Array(V, "per_mc_accesses", &R->PerMCAccesses, Err) &&
          readU64(V, "redirected_pages", &R->RedirectedPages, Err) &&
-         readU64(V, "allocated_pages", &R->AllocatedPages, Err);
+         readU64(V, "allocated_pages", &R->AllocatedPages, Err) &&
+         // Optional: absent in results serialized before the burst
+         // coalescer existed (the burst-off defaults are all zero).
+         (!V.find("burst_transactions") ||
+          readU64(V, "burst_transactions", &R->BurstTransactions, Err)) &&
+         (!V.find("burst_lines") ||
+          readU64(V, "burst_lines", &R->BurstLines, Err)) &&
+         (!V.find("per_mc_lines") ||
+          readU64Array(V, "per_mc_lines", &R->PerMCLines, Err));
 }
 
 //===----------------------------------------------------------------------===//
@@ -614,6 +638,10 @@ JsonValue offchip::toJson(const SimResponse &R) {
   }
   case ResponseStatus::Ok:
     O.set("cache", JsonValue::string(R.CacheHit ? "hit" : "miss"));
+    // Written only when set so pre-single-flight response bytes are
+    // unchanged; absent means false on the read side.
+    if (R.Singleflight)
+      O.set("singleflight", JsonValue::boolean(true));
     if (!R.Key.empty())
       O.set("key", JsonValue::string(R.Key));
     O.set("server_seconds", JsonValue::number(R.ServerSeconds));
@@ -676,6 +704,11 @@ bool offchip::responseFromJson(const JsonValue &V, SimResponse *R,
   if (Cache != "hit" && Cache != "miss")
     return keyError(Err, "cache", "expected hit or miss");
   R->CacheHit = Cache == "hit";
+  if (const JsonValue *SF = V.find("singleflight")) {
+    if (!SF->isBool())
+      return keyError(Err, "singleflight", "expected true or false");
+    R->Singleflight = SF->asBool();
+  }
   if (const JsonValue *Key = V.find("key")) {
     if (!Key->isString())
       return keyError(Err, "key", "expected a string");

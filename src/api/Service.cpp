@@ -56,21 +56,68 @@ void SimService::submit(SimRequest R, DoneFn Done) {
 
 void SimService::process(const SimRequest &R, const DoneFn &Done) {
   CacheKey Key = requestKey(R);
+  std::string KeyStr = Key.str();
   // Tracing requests must actually run (the trace files are the point), so
-  // they bypass the lookup; their computed result still refreshes the
-  // cache for everyone else.
+  // they bypass the cache lookup and single-flight merging; their computed
+  // result still refreshes the cache for everyone else.
   if (R.TracePrefix.empty()) {
-    if (std::optional<SimResponse> Hit = Cache.lookup(Key)) {
-      Hit->Id = R.Id;
-      Hit->CacheHit = true;
-      Hit->Key = Key.str();
-      Done(std::move(*Hit));
-      return;
+    // One atomic decision under Mu: attach to an in-flight leader, answer
+    // from the cache, or become the leader for this key. The nesting
+    // Mu -> ResultCache's internal lock is one-directional (the cache
+    // never calls back into the service), and no callback ever runs under
+    // Mu.
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      auto It = InFlight.find(KeyStr);
+      if (It != InFlight.end()) {
+        It->second.push_back({R.Id, Done});
+        ++SingleflightHits;
+        // The leader invokes this waiter's Done when it finishes; this
+        // worker slot frees up, but the leader's Pending keeps drain()
+        // waiting until every attached callback has fired.
+        return;
+      }
+      if (std::optional<SimResponse> Hit = Cache.lookup(Key)) {
+        Lock.unlock();
+        Hit->Id = R.Id;
+        Hit->CacheHit = true;
+        Hit->Key = KeyStr;
+        Done(std::move(*Hit));
+        return;
+      }
+      InFlight.emplace(KeyStr, std::vector<Waiter>());
     }
+    SimResponse Resp = Exec(R);
+    std::vector<Waiter> Waiters;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Resp.ok()) {
+        // Store a client-neutral copy; lookup() re-stamps per-request
+        // fields. Insert before retiring the key so no request can miss
+        // both the registry and the cache.
+        SimResponse Entry = Resp;
+        Entry.Id.clear();
+        Entry.CacheHit = false;
+        Entry.Key.clear();
+        Cache.insert(Key, Entry);
+      }
+      auto It = InFlight.find(KeyStr);
+      Waiters = std::move(It->second);
+      InFlight.erase(It);
+    }
+    Resp.CacheHit = false;
+    Resp.Key = KeyStr;
+    for (Waiter &W : Waiters) {
+      SimResponse Copy = Resp;
+      Copy.Id = W.Id;
+      Copy.Singleflight = true;
+      W.Done(std::move(Copy));
+    }
+    Done(std::move(Resp));
+    return;
   }
   SimResponse Resp = Exec(R);
   if (Resp.ok()) {
-    // Store a client-neutral copy; lookup() re-stamps per-request fields.
     SimResponse Entry = Resp;
     Entry.Id.clear();
     Entry.CacheHit = false;
@@ -78,7 +125,7 @@ void SimService::process(const SimRequest &R, const DoneFn &Done) {
     Cache.insert(Key, Entry);
   }
   Resp.CacheHit = false;
-  Resp.Key = Key.str();
+  Resp.Key = KeyStr;
   Done(std::move(Resp));
 }
 
@@ -102,6 +149,7 @@ SimService::Stats SimService::stats() const {
     S.Admitted = Admitted;
     S.Rejected = Rejected;
     S.Completed = Completed;
+    S.SingleflightHits = SingleflightHits;
   }
   S.Cache = Cache.stats();
   return S;

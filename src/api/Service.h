@@ -4,7 +4,10 @@
 /// The long-running heart of offchip-serve, usable without any socket: a
 /// bounded admission queue in front of a worker pool, answering from the
 /// content-addressed result cache on a hit and running executeRequest() on
-/// a miss. Admission is explicit backpressure — when QueueDepth requests
+/// a miss. Identical concurrent misses are merged (single-flight): the
+/// first becomes the leader and executes, later ones attach as waiters and
+/// receive the leader's result, so a stampede of equal requests costs one
+/// simulation. Admission is explicit backpressure — when QueueDepth requests
 /// are already admitted but unanswered, submit() answers Overloaded
 /// immediately instead of queueing unboundedly; nothing admitted is ever
 /// dropped. The completion callback is invoked exactly once per submit(),
@@ -25,6 +28,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 
 namespace offchip {
@@ -71,6 +75,9 @@ public:
     std::uint64_t Admitted = 0;
     std::uint64_t Rejected = 0;
     std::uint64_t Completed = 0;
+    /// Requests answered by attaching to an identical in-flight request
+    /// instead of executing (single-flight merging).
+    std::uint64_t SingleflightHits = 0;
     ResultCache::Stats Cache;
   };
   Stats stats() const;
@@ -88,6 +95,17 @@ private:
   std::condition_variable Idle;
   std::size_t Pending = 0; // admitted, not yet answered
   std::uint64_t Admitted = 0, Rejected = 0, Completed = 0;
+  std::uint64_t SingleflightHits = 0;
+  /// Single-flight registry: content key -> waiters for the in-flight
+  /// execution of that key. An entry exists exactly while one worker (the
+  /// leader) is executing the key; attachers park their (Id, Done) here and
+  /// the leader answers them when it finishes. Guarded by Mu; the callbacks
+  /// are always invoked outside it.
+  struct Waiter {
+    std::string Id;
+    DoneFn Done;
+  };
+  std::map<std::string, std::vector<Waiter>> InFlight;
 
   ThreadPool Pool; // last member: workers must die before the state above
 };

@@ -279,10 +279,12 @@ void SocketServer::handleLine(const std::shared_ptr<Connection> &Conn,
       O.set("admitted", JsonValue::number(S.Admitted));
       O.set("completed", JsonValue::number(S.Completed));
       O.set("rejected", JsonValue::number(S.Rejected));
+      O.set("singleflight_hits", JsonValue::number(S.SingleflightHits));
       O.set("cache_hits", JsonValue::number(S.Cache.Hits));
       O.set("cache_misses", JsonValue::number(S.Cache.Misses));
       O.set("cache_evictions", JsonValue::number(S.Cache.Evictions));
       O.set("cache_entries", JsonValue::number(S.Cache.Entries));
+      O.set("cache_capacity", JsonValue::number(S.Cache.Capacity));
       O.set("connections",
             JsonValue::number(NumConnections.load(std::memory_order_relaxed)));
       O.set("requests",

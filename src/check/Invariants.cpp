@@ -112,3 +112,34 @@ void offchip::checkMcConservation(
                   " off-chip requests but the run counted " +
                   std::to_string(OffChipAccesses));
 }
+
+void offchip::checkBurstConservation(
+    const std::vector<std::uint64_t> &PerMCLines,
+    std::uint64_t OffChipAccesses, std::uint64_t BurstTransactions,
+    std::uint64_t BurstLines, std::vector<std::string> &Out) {
+  if (BurstTransactions > OffChipAccesses) {
+    Out.push_back("more burst transactions (" +
+                  std::to_string(BurstTransactions) +
+                  ") than off-chip accesses (" +
+                  std::to_string(OffChipAccesses) + ")");
+    return;
+  }
+  // Every burst moves at least two lines (a run of one is serviced as a
+  // plain access and never counted).
+  if (BurstLines < 2 * BurstTransactions) {
+    Out.push_back("burst transactions (" + std::to_string(BurstTransactions) +
+                  ") moved only " + std::to_string(BurstLines) +
+                  " lines; every burst must coalesce at least two");
+    return;
+  }
+  std::uint64_t TotalLines = 0;
+  for (std::uint64_t Lines : PerMCLines)
+    TotalLines += Lines;
+  std::uint64_t Want = OffChipAccesses - BurstTransactions + BurstLines;
+  if (TotalLines != Want)
+    Out.push_back("MCs transferred " + std::to_string(TotalLines) +
+                  " lines but conservation expects " + std::to_string(Want) +
+                  " (off-chip " + std::to_string(OffChipAccesses) +
+                  " - bursts " + std::to_string(BurstTransactions) +
+                  " + burst lines " + std::to_string(BurstLines) + ")");
+}

@@ -114,6 +114,19 @@ void checkMcConservation(const std::vector<std::uint64_t> &PerMCAccesses,
                          std::uint64_t OffChipAccesses,
                          std::vector<std::string> &Out);
 
+/// Conservation of line-level DRAM traffic under burst coalescing: every
+/// off-chip access transfers exactly one line except burst transactions,
+/// which transfer \p BurstLines lines across \p BurstTransactions trigger
+/// accesses, so sum(\p PerMCLines) == \p OffChipAccesses -
+/// \p BurstTransactions + \p BurstLines. With the coalescer off both burst
+/// counters are zero and this degenerates to lines == accesses. Appends
+/// violations to \p Out.
+void checkBurstConservation(const std::vector<std::uint64_t> &PerMCLines,
+                            std::uint64_t OffChipAccesses,
+                            std::uint64_t BurstTransactions,
+                            std::uint64_t BurstLines,
+                            std::vector<std::string> &Out);
+
 } // namespace offchip
 
 #endif // OFFCHIP_CHECK_INVARIANTS_H

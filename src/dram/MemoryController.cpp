@@ -79,6 +79,7 @@ DramAccessResult MemoryController::access(std::uint64_t PhysAddr,
   B.BusyCycles += Service;
 
   ++Accesses;
+  ++LinesTransferred;
   if (Hit)
     ++RowHits;
   TotalQueueCycles += R.QueueCycles;
@@ -88,6 +89,57 @@ DramAccessResult MemoryController::access(std::uint64_t PhysAddr,
                      static_cast<std::uint32_t>(R.QueueCycles), PhysAddr, Id);
     Sink->emitShared(TraceKind::BankService, Start,
                      static_cast<std::uint32_t>(Service), PhysAddr,
+                     (Id << 16) | (BankIdx << 1) | (Hit ? 1u : 0u));
+  }
+  return R;
+}
+
+DramAccessResult MemoryController::accessBurst(const std::uint64_t *Addrs,
+                                               unsigned NumAddrs,
+                                               std::uint64_t Time) {
+  ScopedTimer Timer(TimeCalls, TimedSeconds, TimedCalls);
+  unsigned BankIdx = bankOf(Addrs[0]);
+  Bank &B = Banks[BankIdx];
+
+  std::uint64_t Start = std::max(Time, B.BusyUntil);
+  bool Hit = isRowHit(B, rowOf(Addrs[0]));
+  std::uint64_t Service =
+      Hit ? Config.Timing.RowHitCycles : Config.Timing.RowMissCycles;
+  // Followers stream out of the open row at beat rate; a row change inside
+  // the burst (possible when a run straddles a row-buffer boundary) pays
+  // the full activation cost again and opens the new row.
+  std::int64_t OpenRow = rowOf(Addrs[0]);
+  for (unsigned I = 1; I < NumAddrs; ++I) {
+    std::int64_t Row = rowOf(Addrs[I]);
+    if (Row == OpenRow) {
+      Service += Config.Timing.BurstBeatCycles;
+    } else {
+      Service += isRowHit(B, Row) ? Config.Timing.RowHitCycles
+                                  : Config.Timing.RowMissCycles;
+      OpenRow = Row;
+    }
+  }
+
+  DramAccessResult R;
+  R.QueueCycles = Start - Time;
+  R.ServiceCycles = Service;
+  R.CompleteTime = Start + Service;
+  R.RowHit = Hit;
+
+  B.BusyUntil = R.CompleteTime;
+  B.BusyCycles += Service;
+
+  ++Accesses; // one transaction, however wide
+  LinesTransferred += NumAddrs;
+  if (Hit)
+    ++RowHits;
+  TotalQueueCycles += R.QueueCycles;
+  TotalServiceCycles += Service;
+  if (Sink && Sink->sharedActive()) {
+    Sink->emitShared(TraceKind::MCEnqueue, Time,
+                     static_cast<std::uint32_t>(R.QueueCycles), Addrs[0], Id);
+    Sink->emitShared(TraceKind::BankService, Start,
+                     static_cast<std::uint32_t>(Service), Addrs[0],
                      (Id << 16) | (BankIdx << 1) | (Hit ? 1u : 0u));
   }
   return R;
@@ -106,6 +158,7 @@ DramAccessResult MemoryController::accessIdeal(std::uint64_t PhysAddr,
   R.CompleteTime = Time + R.ServiceCycles;
   R.RowHit = Hit;
   ++Accesses;
+  ++LinesTransferred;
   if (Hit)
     ++RowHits;
   TotalServiceCycles += R.ServiceCycles;
@@ -154,6 +207,7 @@ void MemoryController::reset() {
     B = Bank();
   Accesses = 0;
   RowHits = 0;
+  LinesTransferred = 0;
   TotalQueueCycles = 0;
   TotalServiceCycles = 0;
   TimedSeconds = 0.0;

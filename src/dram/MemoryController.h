@@ -34,6 +34,10 @@ struct DramTiming {
   unsigned RowHitCycles = 28;
   /// Row conflict: precharge + activate + CAS + burst (tRP+tRCD+tCL).
   unsigned RowMissCycles = 82;
+  /// Extra bank cycles per additional line of a coalesced burst (the
+  /// leading line pays the full RowHit/RowMiss cost, each follower streams
+  /// out of the open row at beat rate). Only used by accessBurst().
+  unsigned BurstBeatCycles = 8;
 };
 
 struct DramConfig {
@@ -75,6 +79,17 @@ public:
   /// state.
   DramAccessResult access(std::uint64_t PhysAddr, std::uint64_t Time);
 
+  /// Services a coalesced burst of \p NumAddrs line addresses (ascending,
+  /// same controller) arriving at \p Time as ONE wide transaction on the
+  /// leading line's bank: the leader pays the ordinary row-hit/row-miss
+  /// cost, every follower adds Timing.BurstBeatCycles while it stays in the
+  /// leader's row and the full row cost on a row change. Counts one entry
+  /// in accesses() (it is one transaction) and NumAddrs lines in
+  /// linesTransferred(); emits one MCEnqueue/BankService pair. \p NumAddrs
+  /// == 1 behaves exactly like access().
+  DramAccessResult accessBurst(const std::uint64_t *Addrs,
+                               unsigned NumAddrs, std::uint64_t Time);
+
   /// Contention-free service (optimal scheme of Section 2): zero queue
   /// latency, but the row-buffer behaviour stays realistic (tracked on a
   /// shadow bank state so the optimal run pays hit/conflict service times
@@ -87,6 +102,10 @@ public:
 
   std::uint64_t accesses() const { return Accesses; }
   std::uint64_t rowHits() const { return RowHits; }
+  /// L2 lines moved over this controller's channel: access()/accessIdeal()
+  /// add 1, accessBurst() adds its line count. Writebacks are not counted
+  /// (matching SimResult::NodeToMCTraffic, which counts requests only).
+  std::uint64_t linesTransferred() const { return LinesTransferred; }
   std::uint64_t totalQueueCycles() const { return TotalQueueCycles; }
   std::uint64_t totalServiceCycles() const { return TotalServiceCycles; }
 
@@ -159,6 +178,7 @@ private:
   std::vector<Bank> IdealBanks;
   std::uint64_t Accesses = 0;
   std::uint64_t RowHits = 0;
+  std::uint64_t LinesTransferred = 0;
   std::uint64_t TotalQueueCycles = 0;
   std::uint64_t TotalServiceCycles = 0;
   bool TimeCalls = false;

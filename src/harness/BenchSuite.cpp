@@ -233,6 +233,10 @@ BenchSuite::BenchSuite(std::string IdText, std::string ClaimText,
   Parser.value("--sim-threads", &SimThreadsSetting,
                "host threads inside each simulation (default 1 = serial "
                "reference engine; results are bit-identical for any value)");
+  Parser.flag("--burst-coalesce", &BurstRequested,
+              "coalesce runs of adjacent off-chip lines into wide DRAM "
+              "transactions (default off; results stay bit-identical across "
+              "--sim-threads)");
   Parser.flag("--trace", &TraceRequested,
               "record a per-request trace for every simulation (writes "
               "<prefix>.run<K>.trace.json and .series.csv; see --trace-out)");
@@ -299,6 +303,8 @@ std::optional<int> BenchSuite::parseArgs(int Argc, char **Argv) {
   }
   if (SimThreadsSetting != 0)
     Config.SimThreads = SimThreadsSetting;
+  if (BurstRequested)
+    Config.Burst.Enabled = true;
   if (TraceRequested) {
     Config.Trace.Enabled = true;
     if (TraceSampleCycles != 0)

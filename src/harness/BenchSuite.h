@@ -212,6 +212,7 @@ private:
 
   unsigned JobsSetting = 0; // 0 = hardware threads
   unsigned SimThreadsSetting = 0; // 0 = keep the config's value
+  bool BurstRequested = false;
   bool TraceRequested = false;
   std::string TraceOutPrefix = "trace";
   unsigned TraceSampleCycles = 0;   // 0 = TraceConfig default

@@ -135,11 +135,11 @@ void runSerialLoop(Machine &M, const MachineConfig &Config,
                    Config.L2LatencyCycles, Req.VA, T.Node);
         Sink->beginShared(T.Node, Packed);
       }
-      Done = M.missAfterL2(T.Node, Req.VA, Req.IsWrite, Time, R);
+      Done = M.missAfterL2(T.Node, Req.VA, Req.IsWrite, Time, R, &T.Stream);
     } else {
       if (Sink)
         Sink->beginShared(T.Node, Packed);
-      Done = M.missAfterL1(T.Node, Req.VA, Req.IsWrite, Time, R);
+      Done = M.missAfterL1(T.Node, Req.VA, Req.IsWrite, Time, R, &T.Stream);
     }
     if (Sink)
       Sink->endShared();

@@ -3,8 +3,11 @@
 #include "sim/Machine.h"
 
 #include "check/Invariants.h"
+#include "sim/ThreadStream.h"
 #include "support/HostClock.h"
 #include "trace/TraceSink.h"
+
+#include <algorithm>
 
 using namespace offchip;
 
@@ -95,13 +98,14 @@ std::uint64_t Machine::access(unsigned Node, std::uint64_t VA, bool IsWrite,
 
 std::uint64_t Machine::missAfterL1(unsigned Node, std::uint64_t VA,
                                    bool IsWrite, std::uint64_t Time,
-                                   SimResult &R) {
+                                   SimResult &R, ThreadStream *Lookahead) {
   Net.advanceFloor(Time);
   ++R.TotalAccesses;
   std::uint64_t T = Time + Config.L1LatencyCycles;
   std::uint64_t PA = physFor(VA, Node);
-  std::uint64_t Done = Config.SharedL2 ? accessShared(Node, PA, IsWrite, T, R)
-                                       : accessPrivate(Node, PA, IsWrite, T, R);
+  std::uint64_t Done =
+      Config.SharedL2 ? accessShared(Node, PA, IsWrite, T, R)
+                      : accessPrivate(Node, PA, VA, IsWrite, T, R, Lookahead);
   fillL1(Node, VA, IsWrite, Done);
   if (Sink && Sink->sharedActive()) {
     Sink->emitShared(TraceKind::L1Fill, Done, 0, VA, 0);
@@ -114,11 +118,12 @@ std::uint64_t Machine::missAfterL1(unsigned Node, std::uint64_t VA,
 
 std::uint64_t Machine::missAfterL2(unsigned Node, std::uint64_t VA,
                                    bool IsWrite, std::uint64_t Time,
-                                   SimResult &R) {
+                                   SimResult &R, ThreadStream *Lookahead) {
   Net.advanceFloor(Time);
   ++R.TotalAccesses;
   std::uint64_t T = Time + Config.L1LatencyCycles + Config.L2LatencyCycles;
-  std::uint64_t Done = privateMissTail(Node, VA, IsWrite, T, R);
+  // Cache-line interleaving: VA == PA (identity map).
+  std::uint64_t Done = privateMissTail(Node, VA, VA, IsWrite, T, R, Lookahead);
   fillL1(Node, VA, IsWrite, Done);
   if (Sink && Sink->sharedActive()) {
     Sink->emitShared(TraceKind::L1Fill, Done, 0, VA, 0);
@@ -150,8 +155,9 @@ void Machine::fillL1(unsigned Node, std::uint64_t VA, bool IsWrite,
 }
 
 std::uint64_t Machine::accessPrivate(unsigned Node, std::uint64_t PA,
-                                     bool IsWrite, std::uint64_t Time,
-                                     SimResult &R) {
+                                     std::uint64_t VA, bool IsWrite,
+                                     std::uint64_t Time, SimResult &R,
+                                     ThreadStream *Lookahead) {
   std::uint64_t T = Time + Config.L2LatencyCycles;
   std::uint64_t Line = L2LineDiv.div(PA);
   bool Hit = L2s[Node].access(Line, IsWrite);
@@ -162,12 +168,106 @@ std::uint64_t Machine::accessPrivate(unsigned Node, std::uint64_t PA,
     ++R.LocalL2Hits;
     return T;
   }
-  return privateMissTail(Node, PA, IsWrite, T, R);
+  return privateMissTail(Node, PA, VA, IsWrite, T, R, Lookahead);
+}
+
+void Machine::collectBurst(unsigned MC, std::uint64_t TriggerLine,
+                           std::uint64_t TriggerVA, ThreadStream &Lookahead,
+                           std::vector<std::uint64_t> &Run) {
+  Run.clear();
+  Run.push_back(TriggerLine);
+  const bool LineInterleave =
+      Config.Granularity == InterleaveGranularity::CacheLine;
+  // Adjacent same-MC lines differ by NumMCs lines under cache-line
+  // interleaving; under page interleaving lines are physically contiguous
+  // at stride 1 (and the MC filter below bounds runs at page borders,
+  // where the interleave moves to another controller).
+  const std::uint64_t Stride = LineInterleave ? Config.NumMCs : 1;
+  const std::uint64_t MaxK = Config.Burst.MaxLines;
+  const std::uint64_t W = Config.Burst.WindowAccesses;
+
+  // Windows of successive triggers overlap almost completely, so the scan
+  // is incremental: a per-stream cursor (ScannedTo) guarantees every
+  // generated access is examined exactly once over the whole run, and the
+  // line table remembers where each virtual line was last seen. A table
+  // entry is inside the current window iff its LastSeen index is past the
+  // stream's consumed position — exactly the membership a per-trigger
+  // window rescan would compute, at a fraction of the host cost (this
+  // runs on every off-chip miss). Virtual lines keep the scan to a few
+  // operations per access and need no speculative translation (a
+  // first-touch stream's future pages are not mapped yet).
+  BurstScanState &SS = BurstScans[&Lookahead];
+  const std::uint64_t G = Lookahead.generated();
+  auto SlotFor = [&SS](std::uint64_t Line) -> BurstScanState::Slot & {
+    return SS.Table[(Line * 0x9E3779B97F4A7C15ull) >> 55];
+  };
+  if (SS.ScannedTo < G + W) {
+    std::size_t Avail = 0;
+    const AccessRequest *Window = Lookahead.peekSpan(W, &Avail);
+    std::size_t End = std::min<std::size_t>(Avail, W);
+    std::size_t I =
+        SS.ScannedTo > G ? static_cast<std::size_t>(SS.ScannedTo - G) : 0;
+    for (; I < End; ++I) {
+      const std::uint64_t VLine = L2LineDiv.div(Window[I].VA);
+      BurstScanState::Slot &S = SlotFor(VLine);
+      S.Line = VLine;
+      S.LastSeen = G + I + 1;
+    }
+    SS.ScannedTo = G + End;
+  }
+
+  // The candidate physical line TriggerLine +/- K*Stride maps back to a
+  // virtual line by the same delta: under cache-line interleaving
+  // translation is the identity, and under page interleaving the run is
+  // confined to the trigger's page (physical contiguity across page
+  // borders is an allocator accident, not locality), within which virtual
+  // and physical offsets agree. The page confinement also makes the MC
+  // filter implicit for page interleaving.
+  const std::uint64_t TriggerVLine = L2LineDiv.div(TriggerVA);
+  const std::uint64_t TriggerPage =
+      InterleaveDiv.div(TriggerLine * Config.L2LineBytes);
+  auto Coalescable = [&](std::uint64_t Line) {
+    std::uint64_t VCand;
+    if (LineInterleave) {
+      VCand = Line;
+      if (mcForPhys(Line * Config.L2LineBytes) != MC)
+        return false;
+    } else {
+      if (InterleaveDiv.div(Line * Config.L2LineBytes) != TriggerPage)
+        return false;
+      VCand = TriggerVLine + (Line - TriggerLine);
+    }
+    const BurstScanState::Slot &S = SlotFor(VCand);
+    if (S.Line != VCand || S.LastSeen <= G)
+      return false;
+    // A line any L2 already holds would be served on-chip, not from DRAM;
+    // the directory is exact (checkDirectoryAgainstL2s), so one probe
+    // covers every private L2 including the requester's own.
+    return Dir.findSharer(Line) < 0;
+  };
+  // Extend toward higher addresses first (the window is the thread's own
+  // future, which usually walks upward), then lower.
+  for (std::uint64_t K = 1; Run.size() < MaxK && K <= MaxK; ++K) {
+    std::uint64_t L = TriggerLine + K * Stride;
+    if (!Coalescable(L))
+      break;
+    Run.push_back(L);
+  }
+  for (std::uint64_t K = 1; Run.size() < MaxK && K <= MaxK; ++K) {
+    if (TriggerLine < K * Stride)
+      break;
+    std::uint64_t L = TriggerLine - K * Stride;
+    if (!Coalescable(L))
+      break;
+    Run.push_back(L);
+  }
+  std::sort(Run.begin(), Run.end());
 }
 
 std::uint64_t Machine::privateMissTail(unsigned Node, std::uint64_t PA,
-                                       bool IsWrite, std::uint64_t T,
-                                       SimResult &R) {
+                                       std::uint64_t VA, bool IsWrite,
+                                       std::uint64_t T, SimResult &R,
+                                       ThreadStream *Lookahead) {
   std::uint64_t Line = L2LineDiv.div(PA);
   // The optimal scheme of Section 2: every request is served by the
   // nearest MC over an uncontended route, and the redirection incurs no
@@ -208,11 +308,40 @@ std::uint64_t Machine::privateMissTail(unsigned Node, std::uint64_t PA,
     R.OnChipMsgHops.addSample(Data.Hops);
   } else {
     // Off-chip access: path 2 (DRAM) then path 3 (data back to the L2).
-    DramAccessResult Dram = MCs[MC].access(PA, T);
+    // With Config.Burst enabled, adjacent future lines of the same thread
+    // headed to this MC ride along as one wide DRAM transaction and one
+    // wide data return; the trigger access is accounted exactly as a
+    // normal off-chip access so every existing conservation identity
+    // holds, and the ridealongs surface only in the line-level counters
+    // (BurstTransactions / BurstLines / PerMCLines).
+    unsigned BurstK = 1;
+    if (Config.Burst.Enabled && !Optimal && Lookahead) {
+      collectBurst(MC, Line, VA, *Lookahead, BurstRun);
+      BurstK = static_cast<unsigned>(BurstRun.size());
+    }
+    DramAccessResult Dram;
+    if (BurstK >= 2) {
+      BurstPAs.clear();
+      for (std::uint64_t RL : BurstRun)
+        BurstPAs.push_back(RL * Config.L2LineBytes);
+      Dram = MCs[MC].accessBurst(BurstPAs.data(), BurstK, T);
+      ++R.BurstTransactions;
+      R.BurstLines += BurstK;
+      if (Sink && Sink->sharedActive())
+        Sink->emitShared(TraceKind::BurstCoalesce,
+                         Dram.CompleteTime - Dram.ServiceCycles,
+                         static_cast<std::uint32_t>(Dram.ServiceCycles), PA,
+                         (MC << 8) | (BurstK & 0xffu));
+    } else {
+      Dram = MCs[MC].access(PA, T);
+    }
     T = Dram.CompleteTime;
     MessageResult Data =
         Optimal ? Net.sendIdeal(DirNode, Node, Config.L2LineBytes, T)
-                : Net.send(DirNode, Node, Config.L2LineBytes, T);
+                : Net.send(DirNode, Node,
+                           static_cast<std::uint64_t>(BurstK) *
+                               Config.L2LineBytes,
+                           T);
     T = Data.ArrivalTime;
     ++R.OffChipAccesses;
     R.OffChipNetLatency.addSample(
@@ -224,6 +353,27 @@ std::uint64_t Machine::privateMissTail(unsigned Node, std::uint64_t PA,
     R.OffChipMsgHops.addSample(Req.Hops);
     R.OffChipMsgHops.addSample(Data.Hops);
     R.NodeToMCTraffic[static_cast<std::size_t>(Node) * Config.NumMCs + MC]++;
+
+    // Ridealong lines fill the requester's L2 clean so their future
+    // touches become local L2 hits; the directory stays exact.
+    if (BurstK >= 2) {
+      for (std::uint64_t RL : BurstRun) {
+        if (RL == Line)
+          continue;
+        Cache::Eviction REv = L2s[Node].insert(RL, false);
+        if (REv.Valid) {
+          Dir.removeSharer(REv.LineAddr, Node);
+          if (REv.Dirty) {
+            std::uint64_t VictimPA = REv.LineAddr * Config.L2LineBytes;
+            unsigned VictimMC = mcForPhys(VictimPA);
+            MessageResult WB =
+                Net.send(Node, MCNodes[VictimMC], Config.L2LineBytes, T);
+            MCs[VictimMC].writeback(VictimPA, WB.ArrivalTime);
+          }
+        }
+        Dir.addSharer(RL, Node);
+      }
+    }
   }
 
   // Fill the private L2 and keep the directory exact.
@@ -359,6 +509,12 @@ std::vector<std::string> Machine::checkInvariants(const SimResult &R) const {
   checkMcConservation(R.PerMCAccesses, R.NodeToMCTraffic, Config.numNodes(),
                       Config.NumMCs, R.OffChipAccesses, Out);
 
+  // Line-level conservation of the burst coalescer: every off-chip access
+  // moves one line except burst transactions, which move BurstLines across
+  // BurstTransactions trigger accesses.
+  checkBurstConservation(R.PerMCLines, R.OffChipAccesses, R.BurstTransactions,
+                         R.BurstLines, Out);
+
   // The SNUCA flow never consults the directory, so its sharer sets are
   // only maintained (and checkable) for private-L2 machines.
   if (!Config.SharedL2)
@@ -376,12 +532,14 @@ void Machine::finalize(SimResult &R, std::uint64_t Now) const {
   R.NumMCs = Config.NumMCs;
   R.PerMCQueueOccupancy.clear();
   R.PerMCAccesses.clear();
+  R.PerMCLines.clear();
   double OccSum = 0.0;
   std::uint64_t Hits = 0, Total = 0;
   for (const MemoryController &MC : MCs) {
     double Occ = MC.averageQueueOccupancy(Now);
     R.PerMCQueueOccupancy.push_back(Occ);
     R.PerMCAccesses.push_back(MC.accesses());
+    R.PerMCLines.push_back(MC.linesTransferred());
     OccSum += Occ;
     Hits += MC.rowHits();
     Total += MC.accesses();

@@ -34,10 +34,14 @@
 #include "support/Pow2.h"
 #include "vm/VirtualMemory.h"
 
+#include <array>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 namespace offchip {
+
+class ThreadStream;
 
 /// The simulated machine.
 class Machine {
@@ -89,17 +93,25 @@ public:
 
   /// Completes an access that missed the L1, for configurations where the
   /// L1 miss immediately needs shared state (page-granularity translation
-  /// or a shared L2). \p Time is the access issue time. \returns the
+  /// or a shared L2). \p Time is the access issue time. \p Lookahead, when
+  /// non-null, is the issuing thread's stream; the burst coalescer
+  /// (Config.Burst) peeks it for adjacent future off-chip lines. Both
+  /// engines call this at the same point of the serial event order with
+  /// the stream in the same position, so coalescing decisions — and thus
+  /// results — stay bit-identical across --sim-threads. \returns the
   /// completion cycle; fills the L1 and samples latency into \p R.
   std::uint64_t missAfterL1(unsigned Node, std::uint64_t VA, bool IsWrite,
-                            std::uint64_t Time, SimResult &R);
+                            std::uint64_t Time, SimResult &R,
+                            ThreadStream *Lookahead = nullptr);
 
   /// Completes an access that missed both the L1 and the node's private L2
   /// (localL2Eligible() configurations; \p VA == physical). \p Time is the
-  /// access issue time. \returns the completion cycle; fills both cache
-  /// levels and samples latency into \p R.
+  /// access issue time; \p Lookahead as in missAfterL1. \returns the
+  /// completion cycle; fills both cache levels and samples latency into
+  /// \p R.
   std::uint64_t missAfterL2(unsigned Node, std::uint64_t VA, bool IsWrite,
-                            std::uint64_t Time, SimResult &R);
+                            std::uint64_t Time, SimResult &R,
+                            ThreadStream *Lookahead = nullptr);
 
   /// Debug ownership of merger-only shared state (see OwnerTag).
   OwnerTag &directoryOwnership() { return Dir.ownership(); }
@@ -135,12 +147,30 @@ private:
   std::uint64_t physFor(std::uint64_t VA, unsigned Node);
   unsigned mcForPhys(std::uint64_t PA) const;
 
-  /// Private-L2 flow past the L1 miss.
-  std::uint64_t accessPrivate(unsigned Node, std::uint64_t PA, bool IsWrite,
-                              std::uint64_t Time, SimResult &R);
+  /// Private-L2 flow past the L1 miss. \p VA is the access's virtual
+  /// address (the burst coalescer matches window accesses by virtual line;
+  /// under cache-line interleaving VA == PA).
+  std::uint64_t accessPrivate(unsigned Node, std::uint64_t PA,
+                              std::uint64_t VA, bool IsWrite,
+                              std::uint64_t Time, SimResult &R,
+                              ThreadStream *Lookahead);
   /// Private-L2 flow past the local L2 miss (directory, DRAM, L2 fill).
-  std::uint64_t privateMissTail(unsigned Node, std::uint64_t PA, bool IsWrite,
-                                std::uint64_t Time, SimResult &R);
+  std::uint64_t privateMissTail(unsigned Node, std::uint64_t PA,
+                                std::uint64_t VA, bool IsWrite,
+                                std::uint64_t Time, SimResult &R,
+                                ThreadStream *Lookahead);
+  /// Burst coalescing (Config.Burst): consults the stream's scan state
+  /// (advanced over \p Lookahead's next WindowAccesses accesses) for
+  /// off-chip lines adjacent to \p TriggerLine on controller \p MC and
+  /// leaves the maximal run containing the trigger — ascending line
+  /// addresses, at most Burst.MaxLines — in \p Run. A run of one means
+  /// nothing coalesced. Matching is by virtual line: under page
+  /// interleaving a run never leaves the trigger's page (physical
+  /// contiguity across page borders is an allocator accident), so a
+  /// candidate's virtual line is the trigger's plus the same delta.
+  void collectBurst(unsigned MC, std::uint64_t TriggerLine,
+                    std::uint64_t TriggerVA, ThreadStream &Lookahead,
+                    std::vector<std::uint64_t> &Run);
   /// Shared-L2 flow past the L1 miss.
   std::uint64_t accessShared(unsigned Node, std::uint64_t PA, bool IsWrite,
                              std::uint64_t Time, SimResult &R);
@@ -167,6 +197,32 @@ private:
   std::vector<unsigned> NearestMCOfNode;
   /// First-touch preference: the nearest MC of the node's cluster.
   std::vector<unsigned> FirstTouchMCOfNode;
+  /// Incremental burst-scan state, one per thread stream: the window scan
+  /// advances a per-stream cursor so every generated access is examined
+  /// once in total, not once per off-chip miss (triggers are frequent
+  /// enough that per-trigger rescans of overlapping windows would cost
+  /// more host time than the DRAM events coalescing removes). Touched
+  /// only inside privateMissTail, which runs on one thread — the serial
+  /// loop or the merger.
+  struct BurstScanState {
+    /// Direct-mapped: the last access index (plus one, so zero means
+    /// never) at which each virtual line was seen in the stream. Virtual
+    /// lines need no translation during the speculative scan (future
+    /// pages of a first-touch stream are not even mapped yet). A
+    /// colliding line overwrites — deterministic, costs only a missed
+    /// coalescing opportunity.
+    struct Slot {
+      std::uint64_t Line = ~0ull;
+      std::uint64_t LastSeen = 0;
+    };
+    std::array<Slot, 512> Table;
+    /// Absolute access index the scan has covered, exclusive.
+    std::uint64_t ScannedTo = 0;
+  };
+  std::unordered_map<const ThreadStream *, BurstScanState> BurstScans;
+  /// Coalescer scratch (same single-threaded discipline as BurstScans).
+  std::vector<std::uint64_t> BurstRun;
+  std::vector<std::uint64_t> BurstPAs;
 };
 
 } // namespace offchip

@@ -184,6 +184,25 @@ std::vector<ConfigDiagnostic> MachineConfig::validate() const {
           "pick an MC count whose factorizations divide the mesh dimensions");
   }
 
+  // Burst coalescing: the window and the run cap must be meaningful when
+  // the coalescer is on (a 0/1-line "burst" is just the normal path, and a
+  // zero window can never find a candidate).
+  if (Burst.Enabled) {
+    if (Burst.WindowAccesses < 1)
+      Bad("Burst.WindowAccesses", Burst.WindowAccesses,
+          "must be >= 1 when burst coalescing is enabled",
+          "use the default 256-access window");
+    if (Burst.MaxLines < 2)
+      Bad("Burst.MaxLines", Burst.MaxLines,
+          "must be >= 2 when burst coalescing is enabled (a 1-line burst is "
+          "the ordinary access path)",
+          "use the default 8-line cap");
+  }
+  if (Dram.Timing.BurstBeatCycles < 1)
+    Bad("Dram.Timing.BurstBeatCycles", Dram.Timing.BurstBeatCycles,
+        "must be >= 1 (each extra line of a burst occupies the bank)",
+        "use the default 8 cycles per extra line");
+
   // Interconnect and DRAM: each divides by these at every message/request.
   if (Noc.LinkBytes < 1)
     Bad("Noc.LinkBytes", Noc.LinkBytes, "must be >= 1",

@@ -91,6 +91,27 @@ struct MachineConfig {
   /// the nearest MC with no network contention and no bank queueing.
   bool OptimalScheme = false;
 
+  /// Burst coalescing at the memory-controller boundary (off by default so
+  /// every golden byte-identity run is untouched). When enabled, an
+  /// off-chip miss peeks ahead in the triggering thread's access stream
+  /// for lines that are adjacent in the same controller's physical space
+  /// (sort-and-scan over the window, findInBursts-style), and services the
+  /// whole run as one wide DRAM transaction: one bank event at full
+  /// row-activation cost plus BurstBeatCycles per extra line, one pair of
+  /// NoC reservations carrying every line's flits, and ridealong fills
+  /// into the local L2. Changes timing (that is the point), but stays
+  /// bit-identical across --sim-threads values and conserves lines:
+  /// sum(PerMCLines) == OffChipAccesses - BurstTransactions + BurstLines.
+  struct BurstCoalesceConfig {
+    bool Enabled = false;
+    /// How many future accesses of the triggering thread are inspected for
+    /// coalescing candidates.
+    unsigned WindowAccesses = 256;
+    /// Longest run serviced as one transaction (L2 lines, incl. trigger).
+    unsigned MaxLines = 8;
+  };
+  BurstCoalesceConfig Burst;
+
   /// Collect wall-clock phase timers (stream generation, network, DRAM)
   /// into SimResult::PhaseTimes. Off by default: measuring reads the host
   /// clock around every hot-path call and perturbs wall-clock benchmarks.

@@ -80,6 +80,12 @@ bool offchip::equalResults(const SimResult &A, const SimResult &B,
     return Fail("RedirectedPages");
   if (A.AllocatedPages != B.AllocatedPages)
     return Fail("AllocatedPages");
+  if (A.BurstTransactions != B.BurstTransactions)
+    return Fail("BurstTransactions");
+  if (A.BurstLines != B.BurstLines)
+    return Fail("BurstLines");
+  if (A.PerMCLines != B.PerMCLines)
+    return Fail("PerMCLines");
   return true;
 }
 

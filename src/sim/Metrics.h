@@ -90,6 +90,15 @@ struct SimResult {
   std::uint64_t RedirectedPages = 0;
   std::uint64_t AllocatedPages = 0;
 
+  // Burst coalescing (MachineConfig::Burst; all zero when it is off).
+  // Only genuinely widened transactions count: a "burst" of one line is an
+  // ordinary access and contributes to neither counter.
+  std::uint64_t BurstTransactions = 0; // coalesced wide transactions
+  std::uint64_t BurstLines = 0;        // lines those transactions carried
+  /// Lines moved per MC channel (MemoryController::linesTransferred).
+  /// Conservation: sum == OffChipAccesses - BurstTransactions + BurstLines.
+  std::vector<std::uint64_t> PerMCLines;
+
   // Wall-clock phase attribution (MachineConfig::CollectPhaseTimes).
   PhaseTimes Phases;
 

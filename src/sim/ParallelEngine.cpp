@@ -409,9 +409,14 @@ private:
         // serial loop puts them.
         if (Sink)
           Sink->beginShared(T.Node, Key);
+        // The node is stalled, so its thread's stream cannot advance under
+        // the merger: peek() sees exactly the future the serial loop sees
+        // at this point of the key order, and the SPSC resume's release
+        // push carries any lookahead-buffer growth back to the worker.
         std::uint64_t Done =
-            LocalL2 ? M.missAfterL2(T.Node, P.VA, P.IsWrite, Time, R)
-                    : M.missAfterL1(T.Node, P.VA, P.IsWrite, Time, R);
+            LocalL2
+                ? M.missAfterL2(T.Node, P.VA, P.IsWrite, Time, R, &T.Stream)
+                : M.missAfterL1(T.Node, P.VA, P.IsWrite, Time, R, &T.Stream);
         if (Sink)
           Sink->endShared();
         std::uint64_t NextKey = pack(Done + P.ExtraCycles, Tid);

@@ -72,10 +72,57 @@ void ThreadStream::advanceIteration() {
 }
 
 bool ThreadStream::next(AccessRequest &Out) {
+  if (LookHead < Lookahead.size()) {
+    Out = Lookahead[LookHead++];
+    if (LookHead == Lookahead.size()) {
+      Lookahead.clear();
+      LookHead = 0;
+    }
+    ++Generated;
+    return true;
+  }
+  if (!generate(Out))
+    return false;
+  ++Generated;
+  return true;
+}
+
+bool ThreadStream::peek(std::size_t I, AccessRequest &Out) {
+  while (Lookahead.size() - LookHead <= I) {
+    AccessRequest R;
+    if (!generate(R))
+      return false;
+    Lookahead.push_back(R);
+  }
+  Out = Lookahead[LookHead + I];
+  return true;
+}
+
+const AccessRequest *ThreadStream::peekSpan(std::size_t N, std::size_t *Avail) {
+  // Compact the consumed prefix once it dominates the buffer: a consumer
+  // that peeks ahead faster than it fully drains (the burst coalescer,
+  // re-peeking on every off-chip miss) would otherwise grow the vector by
+  // every access the stream ever produces, turning a window-sized working
+  // set into an unbounded cold-memory walk.
+  if (LookHead >= 1024 && LookHead >= Lookahead.size() - LookHead) {
+    Lookahead.erase(Lookahead.begin(),
+                    Lookahead.begin() + static_cast<std::ptrdiff_t>(LookHead));
+    LookHead = 0;
+  }
+  while (Lookahead.size() - LookHead < N) {
+    AccessRequest R;
+    if (!generate(R))
+      break;
+    Lookahead.push_back(R);
+  }
+  *Avail = Lookahead.size() - LookHead;
+  return Lookahead.data() + LookHead;
+}
+
+bool ThreadStream::generate(AccessRequest &Out) {
   if (HasPendingData) {
     Out = PendingData;
     HasPendingData = false;
-    ++Generated;
     return true;
   }
   const AffineProgram &P = Map->program();
@@ -101,7 +148,6 @@ bool ThreadStream::next(AccessRequest &Out) {
       Out.VA = F.LastVA;
       Out.IsWrite = F.IsWrite;
       Out.Transformed = F.Transformed;
-      ++Generated;
       return true;
     }
     const IndexedRef &IRef = Nest.indexedRefs()[Slot - NumAffine];
@@ -121,7 +167,6 @@ bool ThreadStream::next(AccessRequest &Out) {
     PendingData.IsWrite = IRef.IsWrite;
     PendingData.Transformed = Map->isTransformed(IRef.DataArray);
     HasPendingData = true;
-    ++Generated;
     return true;
   }
   return false;

@@ -35,9 +35,30 @@ public:
   /// Produces the next access. \returns false when the stream is exhausted.
   bool next(AccessRequest &Out);
 
+  /// Looks \p I accesses past the current position without consuming
+  /// anything: peek(0) is what the next next() will return. Generates into
+  /// an internal lookahead buffer that next() drains first, so peeking is
+  /// invisible to the stream's consumers (generated() does not move).
+  /// \returns false when the stream ends within \p I accesses. Used by the
+  /// burst coalescer to scan the triggering thread's future window.
+  bool peek(std::size_t I, AccessRequest &Out);
+
+  /// Bulk peek: fills the lookahead buffer with up to \p N future accesses
+  /// (fewer only when the stream ends first) and returns a pointer to the
+  /// first, with the valid count in \p *Avail (which may exceed \p N when
+  /// earlier peeks buffered further ahead). The pointer is invalidated by
+  /// the next call to next(), peek() or peekSpan(). Lets the burst
+  /// coalescer scan its window without a function call per access.
+  const AccessRequest *peekSpan(std::size_t N, std::size_t *Avail);
+
   std::uint64_t generated() const { return Generated; }
 
 private:
+  /// The former next() body: produces the next access straight from the
+  /// program walk, without consulting the lookahead buffer or counting it
+  /// as consumed.
+  bool generate(AccessRequest &Out);
+
   /// Positions the cursor at the first non-empty (nest, repetition) at or
   /// after the current one. \returns false when the program is done.
   bool seekNest();
@@ -84,6 +105,11 @@ private:
   /// Pending second half of an indexed reference.
   bool HasPendingData = false;
   AccessRequest PendingData;
+
+  /// Accesses produced by peek() but not yet consumed by next():
+  /// [LookHead, Lookahead.size()) in generation order.
+  std::vector<AccessRequest> Lookahead;
+  std::size_t LookHead = 0;
 
   std::uint64_t Generated = 0;
 };

@@ -34,6 +34,8 @@ const char *kindName(TraceKind K) {
     return "l1-fill";
   case TraceKind::Complete:
     return "access";
+  case TraceKind::BurstCoalesce:
+    return "burst";
   }
   return "?";
 }
@@ -102,6 +104,10 @@ std::string offchip::renderChromeTrace(const TraceData &D) {
     case TraceKind::BankService:
       Pid = 2;
       Tid = E.Aux >> 16;
+      break;
+    case TraceKind::BurstCoalesce:
+      Pid = 2;
+      Tid = E.Aux >> 8;
       break;
     default:
       break;

@@ -44,6 +44,9 @@ enum class TraceKind : std::uint8_t {
   L1Fill,         ///< Line filled into the requester's L1.
   Complete,       ///< Whole off-tile access span: Start = issue cycle, Dur =
                   ///< end-to-end latency.
+  BurstCoalesce,  ///< A coalesced wide DRAM transaction (appended last:
+                  ///< values are stable across exports); Aux = (MC id << 8)
+                  ///< | line count, Dur = bank service cycles.
 };
 
 /// Fixed-size binary event record (see the file comment for the ordering

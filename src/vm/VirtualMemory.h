@@ -67,6 +67,19 @@ public:
   /// cluster (used by the FirstTouch policy).
   std::uint64_t translate(std::uint64_t VA, unsigned TouchingMC);
 
+  /// Non-mutating translation: the PA if the page containing \p VA is
+  /// already mapped, or false without allocating anything. The burst
+  /// coalescer uses this on peeked future accesses — a speculative peek
+  /// must never change first-touch allocation order.
+  bool peekTranslate(std::uint64_t VA, std::uint64_t *PA) const {
+    std::uint64_t VPN = VA >> PageShift;
+    if (VPN >= PageTable.size() || PageTable[VPN] < 0)
+      return false;
+    *PA = (static_cast<std::uint64_t>(PageTable[VPN]) << PageShift) +
+          (VA & PageMask);
+    return true;
+  }
+
   /// MC owning physical address \p PA under page interleaving.
   unsigned mcOfPhysAddr(std::uint64_t PA) const {
     return static_cast<unsigned>(MCDiv.mod(PA >> PageShift));

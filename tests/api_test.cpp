@@ -50,11 +50,12 @@ SimRequest tinySimulate() {
 TEST(ContentHash, StableAcrossProcesses) {
   // The cache key of a canonical request is part of the wire contract: if
   // this value drifts, every deployed cache goes cold and the protocol's
-  // "key" field changes meaning. Update only with a protocol bump.
+  // "key" field changes meaning. Update only with a protocol bump (last:
+  // the burst-coalescing knobs joined the hashed config surface).
   SimRequest R;
   R.Kind = RequestKind::Simulate;
   R.Workload.App = "swim";
-  EXPECT_EQ(requestKey(R).str(), "d7180040c6e7cabef73c7e78bfcf85f1");
+  EXPECT_EQ(requestKey(R).str(), "c97d3cc121e38f4556765e5b8a4d3c06");
 }
 
 TEST(ContentHash, IdAndExecutionKnobsExcluded) {
@@ -466,6 +467,182 @@ TEST(Service, BackpressureOverloadsAndDrains) {
   EXPECT_EQ(S.Admitted, 3u);
   EXPECT_EQ(S.Rejected, 3u);
   EXPECT_EQ(S.Completed, 3u);
+}
+
+TEST(Service, SingleflightMergesIdenticalConcurrentRequests) {
+  // A stampede of identical requests while the first is still computing
+  // must execute exactly once: latecomers attach to the in-flight leader
+  // and receive its result, marked Singleflight.
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Open = false;
+  std::atomic<unsigned> Executions{0};
+  auto GateExec = [&](const SimRequest &R) {
+    Executions.fetch_add(1);
+    std::unique_lock<std::mutex> Lock(Mu);
+    Cv.wait(Lock, [&] { return Open; });
+    SimResponse Resp;
+    Resp.Id = R.Id;
+    Resp.Status = ResponseStatus::Ok;
+    Resp.Plan.ProgramName = "computed-once";
+    Resp.ServerSeconds = 0.125;
+    return Resp;
+  };
+  SimService Service({/*Workers=*/4, /*QueueDepth=*/8, /*CacheCapacity=*/8},
+                     GateExec);
+
+  std::mutex DoneMu;
+  std::vector<SimResponse> Answers;
+  auto Done = [&](SimResponse Resp) {
+    std::lock_guard<std::mutex> Lock(DoneMu);
+    Answers.push_back(std::move(Resp));
+  };
+
+  constexpr unsigned N = 4;
+  for (unsigned I = 0; I < N; ++I) {
+    SimRequest R = tinySimulate();
+    R.Id = "client" + std::to_string(I);
+    Service.submit(R, Done);
+  }
+  // Wait until the three followers have attached to the leader; only then
+  // is releasing the gate race-free (a follower arriving after completion
+  // would be a cache hit instead, which is correct but not what this test
+  // pins).
+  while (Service.stats().SingleflightHits < N - 1)
+    std::this_thread::yield();
+  EXPECT_EQ(Executions.load(), 1u);
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Open = true;
+  }
+  Cv.notify_all();
+  Service.drain();
+
+  std::lock_guard<std::mutex> Lock(DoneMu);
+  ASSERT_EQ(Answers.size(), N);
+  EXPECT_EQ(Executions.load(), 1u);
+  unsigned Merged = 0;
+  for (const SimResponse &A : Answers) {
+    ASSERT_TRUE(A.ok());
+    Merged += A.Singleflight;
+    EXPECT_FALSE(A.CacheHit);
+    // Every answer repeats the one computed result bit-for-bit, modulo the
+    // per-client id echo and the merge marker.
+    SimResponse Canon = A;
+    Canon.Id.clear();
+    Canon.Singleflight = false;
+    SimResponse Lead = Answers[0];
+    Lead.Id.clear();
+    Lead.Singleflight = false;
+    EXPECT_EQ(writeResponseLine(Canon), writeResponseLine(Lead));
+    EXPECT_EQ(A.Plan.ProgramName, "computed-once");
+    EXPECT_EQ(A.ServerSeconds, 0.125);
+    EXPECT_EQ(A.Key, requestKey(tinySimulate()).str());
+  }
+  EXPECT_EQ(Merged, N - 1);
+  SimService::Stats S = Service.stats();
+  EXPECT_EQ(S.SingleflightHits, N - 1);
+  EXPECT_EQ(S.Admitted, N);
+  EXPECT_EQ(S.Completed, N);
+  EXPECT_EQ(S.Cache.Misses, 1u); // one lookup miss: the leader's
+}
+
+TEST(Service, SingleflightUnderOverloadStillAnswersEverySubmit) {
+  // Both workers gated on distinct content, queue filled, one rejection —
+  // then the freed worker merges the queued identical requests onto the
+  // still-running leader. Exactly one answer per submit, one execution per
+  // distinct content.
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool OpenA = false, OpenB = false;
+  std::atomic<unsigned> ExecA{0}, ExecB{0};
+  auto GateExec = [&](const SimRequest &R) {
+    bool IsB = R.Workload.ProgramText.find("array b") != std::string::npos;
+    (IsB ? ExecB : ExecA).fetch_add(1);
+    std::unique_lock<std::mutex> Lock(Mu);
+    Cv.wait(Lock, [&] { return IsB ? OpenB : OpenA; });
+    SimResponse Resp;
+    Resp.Id = R.Id;
+    Resp.Status = ResponseStatus::Ok;
+    Resp.Plan.ProgramName = IsB ? "b" : "a";
+    Resp.ServerSeconds = 0.5;
+    return Resp;
+  };
+  SimService Service({/*Workers=*/2, /*QueueDepth=*/4, /*CacheCapacity=*/8},
+                     GateExec);
+
+  std::mutex DoneMu;
+  std::vector<SimResponse> Answers;
+  auto Done = [&](SimResponse Resp) {
+    std::lock_guard<std::mutex> Lock(DoneMu);
+    Answers.push_back(std::move(Resp));
+  };
+
+  SimRequest A = tinySimulate();
+  A.Id = "leader";
+  SimRequest B = tinySimulate();
+  B.Workload.ProgramText =
+      "\nprogram other\narray b dims 16 16 elem 8\n\nnest sweep bounds 0:16 "
+      "0:16 parallel 0\n  read b [ i1, i0 ]\nend\n";
+  B.Id = "other";
+
+  Service.submit(A, Done);
+  while (ExecA.load() == 0)
+    std::this_thread::yield();
+  Service.submit(B, Done);
+  while (ExecB.load() == 0)
+    std::this_thread::yield();
+
+  // Both workers blocked; these two identical-to-A requests queue up.
+  SimRequest A2 = A, A3 = A;
+  A2.Id = "w2";
+  A3.Id = "w3";
+  Service.submit(A2, Done);
+  Service.submit(A3, Done);
+  // Pending == QueueDepth: the next submit is rejected on the spot.
+  SimRequest A4 = A;
+  A4.Id = "rejected";
+  Service.submit(A4, Done);
+  {
+    std::lock_guard<std::mutex> Lock(DoneMu);
+    ASSERT_EQ(Answers.size(), 1u);
+    EXPECT_EQ(Answers[0].Status, ResponseStatus::Overloaded);
+    EXPECT_EQ(Answers[0].Id, "rejected");
+  }
+
+  // Free worker 2: it drains the queued w2/w3, which attach to the gated
+  // leader instead of executing.
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    OpenB = true;
+  }
+  Cv.notify_all();
+  while (Service.stats().SingleflightHits < 2)
+    std::this_thread::yield();
+  EXPECT_EQ(ExecA.load(), 1u);
+
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    OpenA = true;
+  }
+  Cv.notify_all();
+  Service.drain();
+
+  std::lock_guard<std::mutex> Lock(DoneMu);
+  ASSERT_EQ(Answers.size(), 5u); // one answer per submit, none lost
+  EXPECT_EQ(ExecA.load(), 1u);
+  EXPECT_EQ(ExecB.load(), 1u);
+  unsigned Merged = 0;
+  for (const SimResponse &R : Answers)
+    if (R.ok() && R.Plan.ProgramName == "a") {
+      Merged += R.Singleflight;
+      EXPECT_EQ(R.ServerSeconds, 0.5);
+    }
+  EXPECT_EQ(Merged, 2u);
+  SimService::Stats S = Service.stats();
+  EXPECT_EQ(S.Admitted, 4u);
+  EXPECT_EQ(S.Rejected, 1u);
+  EXPECT_EQ(S.SingleflightHits, 2u);
 }
 
 //===----------------------------------------------------------------------===//

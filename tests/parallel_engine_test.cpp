@@ -66,6 +66,10 @@ void expectIdentical(const SimResult &A, const SimResult &B) {
 
   EXPECT_EQ(A.RedirectedPages, B.RedirectedPages);
   EXPECT_EQ(A.AllocatedPages, B.AllocatedPages);
+
+  EXPECT_EQ(A.BurstTransactions, B.BurstTransactions);
+  EXPECT_EQ(A.BurstLines, B.BurstLines);
+  EXPECT_EQ(A.PerMCLines, B.PerMCLines);
 }
 
 /// Runs \p App on \p Config serially and at 2/3/8 sim threads and checks
@@ -143,6 +147,32 @@ TEST(ParallelEngine, TinyMeshMoreWorkersThanNodes) {
   C.MeshX = 2;
   C.MeshY = 2;
   checkVariantAcrossSimThreads("mgrid", C, RunVariant::Original);
+}
+
+TEST(ParallelEngine, BurstCoalescePageIdentical) {
+  // The coalescer peeks thread streams from the merger; its decisions (and
+  // so the burst counters) must be bit-identical at every --sim-threads.
+  // Page granularity + optimized layouts gives long in-page runs, so this
+  // actually coalesces rather than vacuously passing with zero bursts.
+  MachineConfig C = smallConfig();
+  C.Granularity = InterleaveGranularity::Page;
+  C.Burst.Enabled = true;
+  AppModel App = buildApp("swim", 0.1);
+  ClusterMapping M = makeM1Mapping(C);
+  C.SimThreads = 1;
+  SimResult Serial = runVariant(App, C, M, RunVariant::Optimized);
+  EXPECT_GT(Serial.BurstTransactions, 0u);
+  EXPECT_GE(Serial.BurstLines, 2 * Serial.BurstTransactions);
+  checkVariantAcrossSimThreads("swim", C, RunVariant::Optimized);
+}
+
+TEST(ParallelEngine, BurstCoalesceCacheLineIdentical) {
+  // Cache-line interleaving: same-MC adjacency is NumMCs lines apart and
+  // the local-L2 fast path keeps most accesses worker-side.
+  MachineConfig C = smallConfig();
+  C.Granularity = InterleaveGranularity::CacheLine;
+  C.Burst.Enabled = true;
+  checkVariantAcrossSimThreads("swim", C, RunVariant::Original);
 }
 
 TEST(ParallelEngine, MultiprogrammedCoRunIdentical) {

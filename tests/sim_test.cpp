@@ -326,6 +326,66 @@ TEST(Engine, OptimalSchemeBeatsBaseline) {
   EXPECT_LT(Best.OffChipNetLatency.mean(), Base.OffChipNetLatency.mean());
 }
 
+TEST(Engine, BurstCoalesceConservesWorkAndTraffic) {
+  // Burst on vs off: coalescing changes timing and line-level DRAM traffic,
+  // never the work — every thread still issues its whole access stream, and
+  // the line counters obey the conservation identity. CheckInvariants also
+  // verifies the identity (and directory exactness after ridealong fills)
+  // inside both runs.
+  MachineConfig C = tinyConfig();
+  C.Granularity = InterleaveGranularity::Page; // contiguous in-page runs
+  C.CheckInvariants = true;
+  ClusterMapping M = tinyMapping(C);
+  AppModel App = buildApp("swim", 0.1);
+
+  SimResult Off = runVariant(App, C, M, RunVariant::Optimized);
+  C.Burst.Enabled = true;
+  SimResult On = runVariant(App, C, M, RunVariant::Optimized);
+
+  EXPECT_EQ(On.TotalAccesses, Off.TotalAccesses);
+  EXPECT_EQ(On.AccessLatency.count(), Off.AccessLatency.count());
+  EXPECT_EQ(On.ThreadFinishCycles.size(), Off.ThreadFinishCycles.size());
+
+  EXPECT_EQ(Off.BurstTransactions, 0u);
+  EXPECT_EQ(Off.BurstLines, 0u);
+  EXPECT_GT(On.BurstTransactions, 0u);
+  EXPECT_GE(On.BurstLines, 2 * On.BurstTransactions);
+
+  std::uint64_t OffLines = 0, OnLines = 0;
+  for (std::uint64_t L : Off.PerMCLines)
+    OffLines += L;
+  for (std::uint64_t L : On.PerMCLines)
+    OnLines += L;
+  EXPECT_EQ(OffLines, Off.OffChipAccesses);
+  EXPECT_EQ(OnLines,
+            On.OffChipAccesses - On.BurstTransactions + On.BurstLines);
+
+  // Ridealong fills convert future off-chip misses into local L2 hits.
+  EXPECT_LE(On.OffChipAccesses, Off.OffChipAccesses);
+}
+
+TEST(Engine, BurstCoalescePerThreadWorkIdentical) {
+  // Co-run two apps and require per-app (and hence per-thread-group)
+  // consumed-access counts to be unchanged by the coalescer.
+  MachineConfig C = tinyConfig();
+  C.Granularity = InterleaveGranularity::Page;
+  ClusterMapping M = tinyMapping(C);
+  AffineProgram P1 = tinyProgram(32);
+  AffineProgram P2 = tinyProgram(64);
+  LayoutPlan Plan1 = LayoutTransformer::originalPlan(P1);
+  LayoutPlan Plan2 = LayoutTransformer::originalPlan(P2);
+  std::vector<std::vector<unsigned>> Nodes = partitionNodesForApps(M, 2);
+  AppInstance A1{&P1, &Plan1, Nodes[0], 0};
+  AppInstance A2{&P2, &Plan2, Nodes[1], 0};
+
+  MultiRunOutputs Off;
+  runSimulation({A1, A2}, C, M, &Off);
+  C.Burst.Enabled = true;
+  MultiRunOutputs On;
+  runSimulation({A1, A2}, C, M, &On);
+  EXPECT_EQ(On.AppAccesses, Off.AppAccesses);
+}
+
 TEST(Engine, DeterministicAcrossRuns) {
   MachineConfig C = tinyConfig();
   ClusterMapping M = tinyMapping(C);

@@ -215,6 +215,15 @@ MachineConfig randomConfig(SplitMix64 &R) {
   C.ComputeGapCycles = pick(R, Gaps);
   C.ThreadsPerCore = 1 + static_cast<unsigned>(R.nextBelow(2));
   C.OptimalScheme = R.nextBelow(4) == 0;
+
+  // Burst coalescing reorders nothing but changes timing; it must stay
+  // bit-identical across engines and hold the line-conservation invariant
+  // (checkBurstConservation) on every draw.
+  C.Burst.Enabled = R.nextBelow(2) == 0;
+  static const unsigned Windows[] = {8, 32, 256};
+  static const unsigned MaxLines[] = {2, 4, 8};
+  C.Burst.WindowAccesses = pick(R, Windows);
+  C.Burst.MaxLines = pick(R, MaxLines);
   C.CheckInvariants = true;
   return C;
 }
@@ -298,6 +307,10 @@ std::string renderConfigCode(const MachineConfig &C) {
   Out += "  C.ThreadsPerCore = " + U(C.ThreadsPerCore) + ";\n";
   Out += std::string("  C.OptimalScheme = ") +
          (C.OptimalScheme ? "true" : "false") + ";\n";
+  Out += std::string("  C.Burst.Enabled = ") +
+         (C.Burst.Enabled ? "true" : "false") + ";\n";
+  Out += "  C.Burst.WindowAccesses = " + U(C.Burst.WindowAccesses) + ";\n";
+  Out += "  C.Burst.MaxLines = " + U(C.Burst.MaxLines) + ";\n";
   Out += "  C.CheckInvariants = true;\n";
   return Out;
 }
@@ -458,6 +471,8 @@ TrialSpec shrink(TrialSpec S, TrialOutcome &Witness) {
       TryConfig([](MachineConfig &C) { C.SharedL2 = false; });
     if (S.Config.OptimalScheme)
       TryConfig([](MachineConfig &C) { C.OptimalScheme = false; });
+    if (S.Config.Burst.Enabled)
+      TryConfig([](MachineConfig &C) { C.Burst.Enabled = false; });
     if (S.Config.Granularity != InterleaveGranularity::CacheLine)
       TryConfig([](MachineConfig &C) {
         C.Granularity = InterleaveGranularity::CacheLine;

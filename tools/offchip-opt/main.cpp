@@ -84,6 +84,9 @@ int main(int Argc, char **Argv) {
   Options.value("--sim-threads", &Config.SimThreads,
                 "host threads inside each simulation (default 1 = serial "
                 "engine; results are bit-identical for any value)");
+  Options.flag("--burst-coalesce", &Config.Burst.Enabled,
+               "coalesce runs of adjacent off-chip lines into wide DRAM "
+               "transactions (default off)");
   Options.flag("--csv", &Csv, "print simulation results as CSV");
   Options.flag("--trace", &Trace,
                "with --simulate, write per-request traces "

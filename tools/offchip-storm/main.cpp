@@ -26,6 +26,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -59,10 +60,26 @@ end
 /// The deterministic request mix: a hot set of optimize requests over the
 /// registered apps (exercises the cache) plus a per-client unique scale
 /// every fourth request (forces cold misses throughout the run).
-SimRequest mixRequest(unsigned Level, unsigned Client, unsigned Iter) {
+///
+/// With \p DuplicateRatio > 0, that fraction of each client's iterations
+/// instead sends a simulate request whose content is identical across every
+/// client at the same (level, iteration) but unique to this storm run:
+/// closed-loop clients advance roughly in lockstep, so the copies are in
+/// flight together and the server's single-flight merging collapses them
+/// onto one execution (stragglers land as cache hits instead).
+SimRequest mixRequest(unsigned Level, unsigned Client, unsigned Iter,
+                      double DuplicateRatio, int RunTag) {
   const std::vector<std::string> &Apps = WorkloadFactory::instance().names();
   SimRequest R;
   R.Id = formatString("l%u-c%u-i%u", Level, Client, Iter);
+  if (DuplicateRatio > 0.0 &&
+      static_cast<double>(Iter % 16) < DuplicateRatio * 16.0) {
+    R.Kind = RequestKind::Simulate;
+    R.Workload.ProgramText =
+        std::string(StormProgram) +
+        formatString("# dup run %d level %u iter %u\n", RunTag, Level, Iter);
+    return R;
+  }
   R.Kind = RequestKind::Optimize;
   R.Workload.App = Apps[(Client + Iter) % Apps.size()];
   if (Iter % 4 == 3) {
@@ -78,6 +95,7 @@ SimRequest mixRequest(unsigned Level, unsigned Client, unsigned Iter) {
 struct ClientTally {
   std::vector<double> LatenciesMs;
   std::uint64_t Hits = 0, Misses = 0;
+  std::uint64_t Singleflight = 0; // merged onto an in-flight leader
   std::uint64_t Overloaded = 0; // retried, not dropped
   std::uint64_t Errors = 0;
   std::uint64_t VerifyFailures = 0;
@@ -134,8 +152,8 @@ bool verifyResponse(const SimResponse &Served, const SimResponse &Direct,
 
 /// One closed-loop client: send, await the matching id, retry overloads.
 void runClient(const std::string &Host, unsigned Port, unsigned Level,
-               unsigned Client, unsigned Requests, bool Verify,
-               Oracle *Oracles, ClientTally *Tally) {
+               unsigned Client, unsigned Requests, double DuplicateRatio,
+               int RunTag, bool Verify, Oracle *Oracles, ClientTally *Tally) {
   std::string Err;
   int Fd = connectTcp(Host, Port, &Err);
   if (Fd < 0) {
@@ -144,7 +162,7 @@ void runClient(const std::string &Host, unsigned Port, unsigned Level,
   }
   LineReader Reader(Fd);
   for (unsigned I = 0; I < Requests; ++I) {
-    SimRequest R = mixRequest(Level, Client, I);
+    SimRequest R = mixRequest(Level, Client, I, DuplicateRatio, RunTag);
     for (;;) {
       Clock::time_point Start = Clock::now();
       if (!sendAll(Fd, writeRequestLine(R))) {
@@ -175,7 +193,12 @@ void runClient(const std::string &Host, unsigned Port, unsigned Level,
         break;
       }
       Tally->LatenciesMs.push_back(Ms);
-      Resp.CacheHit ? ++Tally->Hits : ++Tally->Misses;
+      if (Resp.Singleflight)
+        ++Tally->Singleflight;
+      else if (Resp.CacheHit)
+        ++Tally->Hits;
+      else
+        ++Tally->Misses;
       if (Verify) {
         std::string Why;
         if (!verifyResponse(Resp, Oracles->lookup(R), &Why)) {
@@ -208,6 +231,7 @@ int main(int Argc, char **Argv) {
   std::string LevelsArg = "1,2,4,8";
   unsigned Requests = 32;
   std::string OutPath = "BENCH_serve.json";
+  double DuplicateRatio = 0.0;
   bool Verify = false;
 
   OptionsParser Options("offchip-storm",
@@ -220,6 +244,18 @@ int main(int Argc, char **Argv) {
                 "requests per client per level (default 32)");
   Options.value("--out", &OutPath,
                 "measurement output path (default BENCH_serve.json)");
+  Options.custom("--duplicate-ratio", "<0..1>",
+                 [&](const std::string &V) {
+                   char *End = nullptr;
+                   double D = std::strtod(V.c_str(), &End);
+                   if (End == V.c_str() || *End != '\0' || D < 0.0 || D > 1.0)
+                     return false;
+                   DuplicateRatio = D;
+                   return true;
+                 },
+                 "fraction of each client's requests that are identical "
+                 "across clients (default 0; the server merges concurrent "
+                 "copies in flight — see singleflight_hits)");
   Options.flag("--verify", &Verify,
                "bit-compare every served response against a local "
                "executeRequest() run");
@@ -307,29 +343,32 @@ int main(int Argc, char **Argv) {
 
   JsonValue LevelsJson = JsonValue::array();
   std::uint64_t TotalErrors = 0, TotalVerifyFailures = 0;
-  std::printf("%-8s %-10s %-10s %-10s %-10s %-10s %-7s %s\n", "clients",
-              "rps", "p50_ms", "p90_ms", "p99_ms", "hit_rate", "retries",
-              "errors");
+  std::printf("%-8s %-10s %-10s %-10s %-10s %-10s %-8s %-7s %s\n", "clients",
+              "rps", "p50_ms", "p90_ms", "p99_ms", "hit_rate", "sf_hits",
+              "retries", "errors");
   Oracle Oracles;
+  int RunTag = static_cast<int>(getpid());
   for (unsigned Level : Levels) {
     std::vector<ClientTally> Tallies(Level);
     std::vector<std::thread> Threads;
     Clock::time_point Start = Clock::now();
     for (unsigned C = 0; C < Level; ++C)
       Threads.emplace_back(runClient, Host, Port, Level, C, Requests,
-                           Verify, &Oracles, &Tallies[C]);
+                           DuplicateRatio, RunTag, Verify, &Oracles,
+                           &Tallies[C]);
     for (std::thread &T : Threads)
       T.join();
     double WallSeconds =
         std::chrono::duration<double>(Clock::now() - Start).count();
 
     std::vector<double> Lat;
-    std::uint64_t Hits = 0, Misses = 0, Overloads = 0, Errors = 0,
-                  VerifyFailures = 0;
+    std::uint64_t Hits = 0, Misses = 0, Singleflight = 0, Overloads = 0,
+                  Errors = 0, VerifyFailures = 0;
     for (const ClientTally &T : Tallies) {
       Lat.insert(Lat.end(), T.LatenciesMs.begin(), T.LatenciesMs.end());
       Hits += T.Hits;
       Misses += T.Misses;
+      Singleflight += T.Singleflight;
       Overloads += T.Overloaded;
       Errors += T.Errors;
       VerifyFailures += T.VerifyFailures;
@@ -338,13 +377,15 @@ int main(int Argc, char **Argv) {
     double Rps = WallSeconds > 0 ? Lat.size() / WallSeconds : 0.0;
     double P50 = percentile(Lat, 0.50), P90 = percentile(Lat, 0.90),
            P99 = percentile(Lat, 0.99);
-    double HitRate =
-        Hits + Misses ? static_cast<double>(Hits) / (Hits + Misses) : 0.0;
+    std::uint64_t Answered = Hits + Misses + Singleflight;
+    double HitRate = Answered ? static_cast<double>(Hits) / Answered : 0.0;
     TotalErrors += Errors;
     TotalVerifyFailures += VerifyFailures;
 
-    std::printf("%-8u %-10.1f %-10.2f %-10.2f %-10.2f %-10.2f %-7llu %llu\n",
+    std::printf("%-8u %-10.1f %-10.2f %-10.2f %-10.2f %-10.2f %-8llu %-7llu "
+                "%llu\n",
                 Level, Rps, P50, P90, P99, HitRate,
+                static_cast<unsigned long long>(Singleflight),
                 static_cast<unsigned long long>(Overloads),
                 static_cast<unsigned long long>(Errors));
 
@@ -359,6 +400,7 @@ int main(int Argc, char **Argv) {
     L.set("p99_ms", JsonValue::number(P99));
     L.set("cache_hits", JsonValue::number(Hits));
     L.set("cache_misses", JsonValue::number(Misses));
+    L.set("singleflight_hits", JsonValue::number(Singleflight));
     L.set("overloaded_retries", JsonValue::number(Overloads));
     L.set("errors", JsonValue::number(Errors));
     L.set("verify_failures", JsonValue::number(VerifyFailures));
@@ -368,6 +410,7 @@ int main(int Argc, char **Argv) {
   JsonValue Out = JsonValue::object();
   Out.set("bench", JsonValue::string("serve"));
   Out.set("requests_per_client", JsonValue::number(Requests));
+  Out.set("duplicate_ratio", JsonValue::number(DuplicateRatio));
   Out.set("verified", JsonValue::boolean(Verify));
   Out.set("cache_cold_ms", JsonValue::number(ColdMs));
   Out.set("cache_hit_ms", JsonValue::number(HitMs));

@@ -16,7 +16,11 @@ mkdir -p "$WORK"
 cd "$WORK"
 rm -f port.txt serve.log BENCH_serve.json
 
-"$SERVE" --port 0 --port-file port.txt --cache-entries 64 >serve.log 2>&1 &
+# --jobs 2: single-flight merging needs a second worker to observe the
+# leader in flight (a 1-worker pool serialises duplicates into cache hits),
+# so don't let a 1-core host default the pool down to one thread.
+"$SERVE" --port 0 --port-file port.txt --cache-entries 64 --jobs 2 \
+  >serve.log 2>&1 &
 SERVE_PID=$!
 trap 'kill -9 $SERVE_PID 2>/dev/null' EXIT
 
@@ -31,9 +35,25 @@ if [ ! -s port.txt ]; then
 fi
 PORT=$(cat port.txt)
 
-if ! "$STORM" --port "$PORT" --levels 1,2 --requests 6 --verify \
-      --out BENCH_serve.json; then
+if ! "$STORM" --port "$PORT" --levels 1,2 --requests 6 \
+      --duplicate-ratio 0.75 --verify --out BENCH_serve.json; then
   echo "FAIL: storm reported errors or verify failures" >&2
+  exit 1
+fi
+
+# With 75% duplicated content and two concurrent clients sending the same
+# bytes, at least one latecomer must have attached to an in-flight leader.
+# Zero merges across the whole run means single-flight is broken (or the
+# daemon ran single-worker, which the --jobs 2 above rules out).
+if ! python3 - <<'EOF'
+import json, sys
+doc = json.load(open("BENCH_serve.json"))
+sf = sum(int(l.get("singleflight_hits", 0)) for l in doc["levels"])
+print(f"singleflight_hits total: {sf}")
+sys.exit(0 if sf > 0 else 1)
+EOF
+then
+  echo "FAIL: no single-flight merges despite --duplicate-ratio 0.75" >&2
   exit 1
 fi
 
