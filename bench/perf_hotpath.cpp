@@ -21,6 +21,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "api/Json.h"
 #include "harness/BenchSuite.h"
 #include "harness/Experiment.h"
 #include "support/Format.h"
@@ -109,6 +110,28 @@ double coalescedPct(const SimResult &R) {
   return Lines ? 100.0 * static_cast<double>(R.BurstLines) /
                      static_cast<double>(Lines)
                : 0.0;
+}
+
+/// The host CPU's marketing name from /proc/cpuinfo ("model name" on
+/// x86/arm64 distros, "cpu model"/"Processor" elsewhere), or "unknown"
+/// when unreadable — so the committed BENCH_perf.json records which
+/// machine produced its numbers alongside host_cores.
+std::string hostCpuModel() {
+  std::ifstream In("/proc/cpuinfo");
+  std::string Line;
+  while (std::getline(In, Line)) {
+    for (const char *Key : {"model name", "cpu model", "Processor"}) {
+      if (Line.rfind(Key, 0) != 0)
+        continue;
+      std::size_t Colon = Line.find(':');
+      if (Colon == std::string::npos)
+        continue;
+      std::size_t Begin = Line.find_first_not_of(" \t", Colon + 1);
+      if (Begin != std::string::npos)
+        return Line.substr(Begin);
+    }
+  }
+  return "unknown";
 }
 
 /// A contiguous record sweep: three arrays of 64-byte records (one record
@@ -210,9 +233,10 @@ int main(int Argc, char **Argv) {
   };
 
   auto Variant = [&](const AppModel &App, RunVariant V, bool Traced = false,
-                     bool Burst = false) {
-    return [&App, &PageCfg, &MPage, V, Traced, Burst](bool Timed,
-                                                      unsigned SimThreads) {
+                     bool Burst = false, unsigned WindowBatch = 1,
+                     unsigned ReplicaEpochs = 0) {
+    return [&App, &PageCfg, &MPage, V, Traced, Burst, WindowBatch,
+            ReplicaEpochs](bool Timed, unsigned SimThreads) {
       MachineConfig C = PageCfg;
       C.CollectPhaseTimes = Timed;
       C.SimThreads = SimThreads;
@@ -221,6 +245,11 @@ int main(int Argc, char **Argv) {
       // instrumentation overhead.
       C.Trace.Enabled = Traced;
       C.Burst.Enabled = Burst;
+      // The +batched rows: amortized mailbox publishes plus shard-local
+      // translation replicas. Bit-identity vs the serial row is asserted
+      // below like for every other parallel row.
+      C.SimWindowBatch = WindowBatch;
+      C.SimReplicaEpochs = ReplicaEpochs;
       return runVariant(App, C, MPage, V);
     };
   };
@@ -243,20 +272,32 @@ int main(int Argc, char **Argv) {
       {"stream-records", Variant(Records, RunVariant::Original)},
       {"stream-records+burst",
        Variant(Records, RunVariant::Original, false, true)},
+      // The decoupled-merger rows: window batch 256 + replica staleness 4.
+      // merger_trips vs the untuned twin is the publish-amortization win;
+      // replica_hits > 0 shows workers completing translation-dependent
+      // probes locally. Identical simulated results are asserted like for
+      // every parallel row.
+      {"fig03-wupwise+batched",
+       Variant(Wupwise, RunVariant::Original, false, false, 256, 4)},
+      {"fig14-swim-opt+batched",
+       Variant(Swim, RunVariant::Optimized, false, false, 256, 4)},
   };
   std::vector<unsigned> SimThreadRows = {1, 2, 4, 8};
   if (SerialOnly)
     SimThreadRows = {1};
 
   unsigned HostCores = std::thread::hardware_concurrency();
+  std::string CpuModel = hostCpuModel();
   unsigned WidestRow =
       *std::max_element(SimThreadRows.begin(), SimThreadRows.end());
-  if (WidestRow > 1 && HostCores < WidestRow + 1)
+  bool Undersubscribed = WidestRow > 1 && HostCores < WidestRow + 1;
+  if (Undersubscribed)
     std::fprintf(stderr,
-                 "warning: host has %u hardware threads but the widest row "
-                 "wants %u workers plus the merger; parallel rows beyond "
-                 "sim_threads %u measure coordination overhead, not "
-                 "speedup\n",
+                 "warning: UNDERSUBSCRIBED HOST — %u hardware threads but "
+                 "the widest row wants %u workers plus the merger; parallel "
+                 "rows beyond sim_threads %u measure coordination overhead, "
+                 "not speedup, and the report is tagged "
+                 "\"undersubscribed\": true\n",
                  HostCores, WidestRow, HostCores > 1 ? HostCores - 1 : 1);
 
   std::string Capture;
@@ -265,6 +306,14 @@ int main(int Argc, char **Argv) {
               "simulator wall-clock throughput on fixed workloads "
               "(higher Macc/s is better; timings are host wall-clock)",
               PageCfg.summary());
+  // Machine-readable provenance: which host produced these numbers, and
+  // whether its core count could even express the widest row's
+  // parallelism. Comparisons across BENCH_perf.json revisions are only
+  // meaningful between reports with compatible host fields.
+  Sink->meta("host_cores", formatString("%u", HostCores));
+  Sink->meta("cpu_model", JsonValue::string(CpuModel).write());
+  if (Undersubscribed)
+    Sink->meta("undersubscribed", "true");
   Sink->columns({{"workload", 22},
                  {"sim_threads", 11},
                  {"seconds", 9},
@@ -279,7 +328,9 @@ int main(int Argc, char **Argv) {
                  {"stream_s", 9},
                  {"network_s", 10},
                  {"dram_s", 8},
-                 {"timed_total_s", 13}});
+                 {"timed_total_s", 13},
+                 {"merger_trips", 12},
+                 {"replica_hits", 12}});
 
   for (const Workload &W : Workloads) {
     double SerialBest = 0.0;
@@ -316,7 +367,13 @@ int main(int Argc, char **Argv) {
                  formatString("%.3f", P.StreamGenSeconds),
                  formatString("%.3f", P.NetworkSeconds),
                  formatString("%.3f", P.DramSeconds),
-                 formatString("%.3f", P.TotalSeconds)});
+                 formatString("%.3f", P.TotalSeconds),
+                 formatString("%llu",
+                              (unsigned long long)
+                                  M.Result.Engine.MergerRoundTrips),
+                 formatString("%llu",
+                              (unsigned long long)
+                                  M.Result.Engine.ReplicaHits)});
       std::fprintf(stderr, "  %.3f s  %.2f Macc/s  (x%.2f vs serial)\n",
                    M.BestSeconds, Macc, SerialBest / M.BestSeconds);
     }
@@ -336,7 +393,14 @@ int main(int Argc, char **Argv) {
       "sink (no file export), so its slowdown vs the untraced row is the "
       "tracing overhead; +burst rows rerun their base workload with "
       "--burst-coalesce on, and coalesced_pct is the share of off-chip "
-      "lines that travelled inside a coalesced transaction",
+      "lines that travelled inside a coalesced transaction; +batched rows "
+      "rerun their base workload with --sim-window-batch 256 "
+      "--sim-replica-epochs 4, so their merger_trips vs the untuned twin "
+      "is the mailbox-publish amortization (bounded by nodes per shard; "
+      "see EXPERIMENTS.md) and replica_hits counts probes the workers "
+      "completed locally against their translation replicas; serial rows "
+      "report merger_trips=0 replica_hits=0 because the serial engine has "
+      "no merger",
       Scale, Repeats, HostCores));
   Sink->end();
 

@@ -289,6 +289,8 @@ JsonValue offchip::toJson(const MachineConfig &C) {
   O.set("dram_burst_beat_cycles",
         JsonValue::number(C.Dram.Timing.BurstBeatCycles));
   O.set("sim_threads", JsonValue::number(C.SimThreads));
+  O.set("sim_window_batch", JsonValue::number(C.SimWindowBatch));
+  O.set("sim_replica_epochs", JsonValue::number(C.SimReplicaEpochs));
   O.set("check_invariants", JsonValue::boolean(C.CheckInvariants));
   return O;
 }
@@ -382,6 +384,10 @@ bool offchip::machineConfigFromJson(const JsonValue &V, MachineConfig *C,
       Ok = readU32(V, Key, &C->Dram.Timing.BurstBeatCycles, Err);
     else if (Key == "sim_threads")
       Ok = readU32(V, Key, &C->SimThreads, Err);
+    else if (Key == "sim_window_batch")
+      Ok = readU32(V, Key, &C->SimWindowBatch, Err);
+    else if (Key == "sim_replica_epochs")
+      Ok = readU32(V, Key, &C->SimReplicaEpochs, Err);
     else if (Key == "check_invariants")
       Ok = readBool(V, Key, &C->CheckInvariants, Err);
     else

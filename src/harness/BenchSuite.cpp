@@ -186,6 +186,12 @@ public:
       Notes.push_back(jsonQuote(Text));
   }
 
+  // Header metadata becomes a real top-level field, appended right after
+  // id/claim/machine so readers can pick it up without scanning notes.
+  void meta(const std::string &Key, const std::string &RawJson) override {
+    Head += "  " + jsonQuote(Key) + ": " + RawJson + ",\n";
+  }
+
   void end() override {
     std::string Out = "{\n" + Head + "  \"rows\": [\n";
     for (std::size_t I = 0; I < Rows.size(); ++I)
@@ -205,6 +211,13 @@ private:
 };
 
 } // namespace
+
+// Default rendering of header metadata: a "key = value" note line, which
+// the text sink prints verbatim and the CSV sink turns into a '#' comment.
+// The JSON sink overrides this to emit a real top-level field.
+void OutputSink::meta(const std::string &Key, const std::string &RawJson) {
+  note(Key + " = " + RawJson);
+}
 
 std::unique_ptr<OutputSink> offchip::makeTableSink(std::string *Capture) {
   return std::make_unique<TableSink>(Capture);
@@ -233,6 +246,13 @@ BenchSuite::BenchSuite(std::string IdText, std::string ClaimText,
   Parser.value("--sim-threads", &SimThreadsSetting,
                "host threads inside each simulation (default 1 = serial "
                "reference engine; results are bit-identical for any value)");
+  Parser.value("--sim-window-batch", &SimWindowBatchSetting,
+               "events/resumes per parallel-engine mailbox publish (default "
+               "1 = publish immediately; any value is bit-identical)");
+  Parser.value("--sim-replica-epochs", &SimReplicaEpochsSetting,
+               "staleness bound of the workers' shard-local VM-translation "
+               "replicas, in merger windows (default 0 = replicas off; any "
+               "value is bit-identical)");
   Parser.flag("--burst-coalesce", &BurstRequested,
               "coalesce runs of adjacent off-chip lines into wide DRAM "
               "transactions (default off; results stay bit-identical across "
@@ -303,6 +323,10 @@ std::optional<int> BenchSuite::parseArgs(int Argc, char **Argv) {
   }
   if (SimThreadsSetting != 0)
     Config.SimThreads = SimThreadsSetting;
+  if (SimWindowBatchSetting != 0)
+    Config.SimWindowBatch = SimWindowBatchSetting;
+  if (SimReplicaEpochsSetting != 0)
+    Config.SimReplicaEpochs = SimReplicaEpochsSetting;
   if (BurstRequested)
     Config.Burst.Enabled = true;
   if (TraceRequested) {

@@ -70,6 +70,12 @@ public:
   /// Free-form commentary (maps, footers); one trailing newline is added.
   /// May contain embedded newlines. An empty string is a blank line.
   virtual void note(const std::string &Text) = 0;
+  /// Attaches one machine-readable key/value pair to the report header.
+  /// \p RawJson must already be valid JSON — a bare number, true/false, or
+  /// a quoted string (JsonValue::string(...).write() quotes safely). The
+  /// JSON sink emits it as a top-level field before "rows"; the text and
+  /// CSV sinks render it as a "key = value" note line.
+  virtual void meta(const std::string &Key, const std::string &RawJson);
   /// Flushes anything buffered (JSON emits here).
   virtual void end() {}
 };
@@ -109,8 +115,9 @@ public:
   /// Registry for extra per-bench flags; register before parseArgs().
   OptionsParser &options() { return Parser; }
 
-  /// Parses the common bench flag set: --jobs N, --sim-threads N, --csv,
-  /// --json, --apps a,b,c, the tracing flags (--trace, --trace-out,
+  /// Parses the common bench flag set: --jobs N, --sim-threads N,
+  /// --sim-window-batch N, --sim-replica-epochs N, --burst-coalesce,
+  /// --csv, --json, --apps a,b,c, the tracing flags (--trace, --trace-out,
   /// --trace-sample-cycles, --trace-max-events) and --help. \returns an
   /// exit code when the process should stop (bad flags: 2, --help: 0),
   /// std::nullopt to continue.
@@ -212,6 +219,8 @@ private:
 
   unsigned JobsSetting = 0; // 0 = hardware threads
   unsigned SimThreadsSetting = 0; // 0 = keep the config's value
+  unsigned SimWindowBatchSetting = 0;   // 0 = keep the config's value
+  unsigned SimReplicaEpochsSetting = 0; // 0 = keep the config's value
   bool BurstRequested = false;
   bool TraceRequested = false;
   std::string TraceOutPrefix = "trace";

@@ -134,6 +134,28 @@ std::uint64_t Machine::missAfterL2(unsigned Node, std::uint64_t VA,
   return Done;
 }
 
+std::uint64_t Machine::missAfterL1Probed(unsigned Node, std::uint64_t VA,
+                                         std::uint64_t PA, bool IsWrite,
+                                         std::uint64_t Time, SimResult &R,
+                                         ThreadStream *Lookahead) {
+  assert(!Config.SharedL2 &&
+         Config.Granularity == InterleaveGranularity::Page &&
+         "replica completions only exist on page-interleaved private-L2 "
+         "machines");
+  assert(!Sink && "replica fast path is disabled while tracing");
+  // The worker already translated VA from its replica (so PA is exactly what
+  // physFor would return — translations are immutable once mapped) and
+  // already ran the private-L2 probe, which missed. Replaying either here
+  // would double-count cache statistics, so this is missAfterL1 minus both.
+  Net.advanceFloor(Time);
+  ++R.TotalAccesses;
+  std::uint64_t T = Time + Config.L1LatencyCycles + Config.L2LatencyCycles;
+  std::uint64_t Done = privateMissTail(Node, PA, VA, IsWrite, T, R, Lookahead);
+  fillL1(Node, VA, IsWrite, Done);
+  R.AccessLatency.addSample(static_cast<double>(Done - Time));
+  return Done;
+}
+
 void Machine::fillL1(unsigned Node, std::uint64_t VA, bool IsWrite,
                      std::uint64_t Done) {
   // Dirty victims write back into the next level.

@@ -91,6 +91,68 @@ public:
   void fillL1(unsigned Node, std::uint64_t VA, bool IsWrite,
               std::uint64_t Done);
 
+  //===--------------------------------------------------------------------===//
+  // Replica pieces (SimReplicaEpochs; page granularity, private L2s)
+  //
+  // Under page interleaving every L1 miss needs a translation, which lives
+  // in shared VM state — so without replicas every L1 miss ships to the
+  // merger even when the node's own L2 holds the line. A worker whose
+  // shard-local replica already knows the page's translation uses these
+  // pieces to finish such accesses without stalling: they touch only the
+  // node's own tile state and reproduce the serial sequence exactly (same
+  // position in the node's access order, same LRU/dirty evolution).
+  //===--------------------------------------------------------------------===//
+
+  /// Probes (and updates) the node's private L2 by an already-translated
+  /// physical address. Touches only L2s[Node]; identical to the probe the
+  /// serial flow performs inside its private-L2 path.
+  bool l2ProbeByPhys(unsigned Node, std::uint64_t PA, bool IsWrite) {
+    assert(!Config.SharedL2 && "by-phys probe needs private L2s");
+    return L2s[Node].access(L2LineDiv.div(PA), IsWrite);
+  }
+
+  /// Worker-side L1 fill that defers the dirty victim's translation to the
+  /// caller (the shared VM may not be consulted off the merger): inserts
+  /// \p VA into the node's L1 and \returns the dirty victim's virtual
+  /// address, or ~0ull when nothing dirty fell out. The caller resolves
+  /// the victim's physical address from its replica — always possible,
+  /// because every line resident in a node's L1 got there through a fill
+  /// whose page translation was made visible to that node's worker — and
+  /// finishes with l2MarkDirtyByPhys(). Touches only L1s[Node].
+  std::uint64_t fillL1PendingVictim(unsigned Node, std::uint64_t VA,
+                                    bool IsWrite) {
+    assert(!Config.SharedL2 && "worker-side fill needs private L2s");
+    Cache::Eviction Ev = L1s[Node].insert(L1LineDiv.div(VA), IsWrite);
+    if (Ev.Valid && Ev.Dirty)
+      return Ev.LineAddr * Config.L1LineBytes;
+    return ~0ull;
+  }
+
+  /// Completes fillL1PendingVictim: marks the victim's L2 line dirty given
+  /// its replica-resolved physical address. Touches only L2s[Node].
+  void l2MarkDirtyByPhys(unsigned Node, std::uint64_t VictimPA) {
+    assert(!Config.SharedL2 && "worker-side writeback needs private L2s");
+    L2s[Node].markDirty(L2LineDiv.div(VictimPA));
+  }
+
+  /// Read-only translation probe of the shared VM; merger-side only (the
+  /// parallel engine uses it to feed replica deltas through the resume
+  /// mailbox). \returns false when the page is unmapped.
+  bool peekTranslate(std::uint64_t VA, std::uint64_t *PA) const {
+    return VM->peekTranslate(VA, PA);
+  }
+
+  /// Completes an access whose translation came from a worker's replica and
+  /// whose private-L2 probe (l2ProbeByPhys) already ran worker-side and
+  /// missed: exactly missAfterL1 minus the translation and the L2 probe.
+  /// Merger-side; only valid for page-granularity private-L2 machines with
+  /// no trace sink attached (the replica fast path turns itself off while
+  /// tracing). \returns the completion cycle.
+  std::uint64_t missAfterL1Probed(unsigned Node, std::uint64_t VA,
+                                  std::uint64_t PA, bool IsWrite,
+                                  std::uint64_t Time, SimResult &R,
+                                  ThreadStream *Lookahead = nullptr);
+
   /// Completes an access that missed the L1, for configurations where the
   /// L1 miss immediately needs shared state (page-granularity translation
   /// or a shared L2). \p Time is the access issue time. \p Lookahead, when

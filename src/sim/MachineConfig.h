@@ -125,6 +125,31 @@ struct MachineConfig {
   /// byte-identical across values.
   unsigned SimThreads = 1;
 
+  /// Batched window drains in the parallel engine (--sim-window-batch): the
+  /// number of worker->merger events (and merger->worker resumes) that may
+  /// accumulate in a local chunk before one mailbox publish ships them all.
+  /// 1 reproduces the original one-publish-per-access protocol exactly;
+  /// larger values amortize the SPSC release/acquire traffic over whole
+  /// conservative windows. Results are bit-identical at every value (a
+  /// worker publishes a node's event-key lower bound *before* buffering its
+  /// event, so the merger can never apply shared state out of order — it
+  /// can only wait). Like SimThreads, absent from summary() and excluded
+  /// from the content hash.
+  unsigned SimWindowBatch = 1;
+
+  /// Shard-local replica staleness bound (--sim-replica-epochs). 0 disables
+  /// replicas (the default). >= 1 gives each parallel-engine worker a local
+  /// replica of the VM translation slice it probes (fed reliably through
+  /// the resume mailbox), letting it answer page translations — and
+  /// complete private-L2 hits — without a merger round trip. The value
+  /// bounds how many merger window boundaries (epochs) a worker's replica
+  /// view may lag before lookups fall back to the stall path. Correctness
+  /// never depends on the bound: translations are immutable once mapped, so
+  /// a stale replica entry is still the exact serial answer; staleness only
+  /// converts replica hits back into merger trips. Bit-identical results at
+  /// every value; absent from summary() and the content hash.
+  unsigned SimReplicaEpochs = 0;
+
   /// Tracing subsystem knobs (src/trace). Off by default; when enabled the
   /// run's events and derived time series land in SimResult::Trace and
   /// optionally on disk. Like SimThreads, deliberately absent from

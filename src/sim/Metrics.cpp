@@ -86,6 +86,9 @@ bool offchip::equalResults(const SimResult &A, const SimResult &B,
     return Fail("BurstLines");
   if (A.PerMCLines != B.PerMCLines)
     return Fail("PerMCLines");
+  // SimResult::Engine and SimResult::Phases are deliberately not compared:
+  // they describe how the host executed the run (merger publishes, replica
+  // hits, wall-clock), not what was simulated.
   return true;
 }
 

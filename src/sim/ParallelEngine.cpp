@@ -39,28 +39,87 @@
 ///    pending thread keys after each local step (monotone; a stale value is
 ///    merely conservative). A node with no work left publishes infinity.
 ///  - To ship a global event the worker publishes LB = the shipped key,
-///    then pushes the event (release), then leaves the node stalled — it
-///    will not touch the node or its LB again until it pops the matching
-///    resume (acquire). The SPSC handoffs therefore also carry the cache
-///    state the merger (or worker) is about to touch.
+///    then buffers the event, then leaves the node stalled — it will not
+///    touch the node or its LB again until it pops the matching resume
+///    (acquire). The SPSC handoffs therefore also carry the cache state the
+///    merger (or worker) is about to touch.
 ///  - The merger pops the event heap while the top key is <= min over all
 ///    LBs. Processing an event computes the thread's next key, stores
 ///    LB[node] = min(next key, the node's other pending keys) — the merger
-///    is the only LB writer while the node is stalled — and sends the
+///    is the only LB writer while the node is stalled — and queues the
 ///    resume. The new LB is folded into the running minimum before the next
 ///    pop, since the resumed node may now own the smallest bound.
+///
+/// Batched window drains (MachineConfig::SimWindowBatch):
+///
+///  Mailbox publishes, not shared-state work, dominate the merger round
+///  trip once shards are small: the original protocol paid one release
+///  push per shipped event plus one per resume. Both directions now move
+///  in chunks. A worker buffers shipped events in a local chunk and
+///  publishes once per *window* — when the chunk reaches SimWindowBatch or
+///  when the sweep over its nodes completes — via SpscQueue::pushAll (one
+///  release for the whole chunk). The merger symmetrically buffers each
+///  worker's resumes during a pop round and flushes them with one pushAll
+///  at the round's end (or at the batch cap).
+///
+///  Batching is invisible to the simulated machine: the LB is published
+///  *before* an event is buffered, so the merger can never pop past an
+///  unflushed event's key — at worst it waits. Since every buffered event
+///  belongs to a stalled node, a chunk can never outgrow the shard, and no
+///  order ever changes; SimWindowBatch=1 reproduces the original
+///  per-event publish pattern exactly. The amortization ceiling is
+///  structural: a node has at most one event in flight, so the mean chunk
+///  fill — and thus the publish reduction — is bounded by the shard size
+///  (nodes per worker), not by the knob.
+///
+/// Shard-local replicas (MachineConfig::SimReplicaEpochs):
+///
+///  Under page interleaving every L1 miss needs the shared VM for its
+///  translation, so even accesses that would hit in the node's own private
+///  L2 ship to the merger. But translations are immutable once mapped
+///  (first-touch allocation writes PageTable[VPN] exactly once), so a
+///  read-only replica of the translation slice can never be *wrong* — only
+///  incomplete. Each worker keeps such a replica, fed reliably through the
+///  resume mailbox: every resume carries the (VPN, PPN) pair of the page
+///  its access touched. A worker whose replica resolves a missed VA's page
+///  probes its own L2 by physical address and, on a hit, completes the
+///  access entirely locally (no stall, no publish); on a probe miss it
+///  ships the event pre-translated and pre-probed so the merger skips
+///  both. An epoch counter — bumped by the merger at each resume-flush
+///  round, sampled by workers when they drain resumes — lets
+///  SimReplicaEpochs bound how many window boundaries a worker's view may
+///  lag; a stale worker simply falls back to the stall path. Correctness
+///  never depends on the bound: staleness can only convert replica hits
+///  back into merger trips. The replica path turns itself off while a
+///  trace sink is attached (worker-side completions would need shared
+///  trace ownership) — results are unchanged either way.
+///
+///  Every dirty L1 victim's page is provably in the replica: a line enters
+///  a node's L1 either through the merger (whose resume carried that
+///  page's mapping and is popped before the node runs again) or through a
+///  worker-local completion (which required a replica hit on that page).
 ///
 /// Deadlock freedom: if the heap's top key exceeds the LB minimum, the
 /// argmin node is either running (its worker keeps advancing it, raising
 /// its LB or shipping the event that becomes the new top) or stalled (its
-/// event is already in the heap below the top — contradiction). Workers
-/// exit once all their nodes are drained; the merger exits when every
-/// worker has exited and the queues and heap are empty.
+/// event is already in the heap below the top, or in a chunk its worker
+/// publishes before blocking — the sweep-end flush — after which the
+/// merger sees it). The merger flushes buffered resumes before it ever
+/// waits, so a stalled node always eventually resumes. Workers exit once
+/// all their nodes are drained; the merger exits when every worker has
+/// exited and the queues and heap are empty.
+///
+/// Engine counters (SimResult::Engine) record the protocol's behaviour:
+/// WorkerStallEvents (shipped accesses), WindowDrains (worker event
+/// flushes), MergerRoundTrips (all mailbox publishes: event flushes plus
+/// resume flushes; the unbatched protocol pays exactly
+/// 2 * WorkerStallEvents) and ReplicaHits (worker-local completions).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "check/Invariants.h"
 #include "sim/EngineImpl.h"
+#include "support/MathUtil.h"
 #include "support/Shard.h"
 #include "support/SpscQueue.h"
 #include "trace/TraceSink.h"
@@ -76,6 +135,7 @@ using namespace offchip;
 namespace {
 
 constexpr std::uint64_t InfKey = ~0ull;
+constexpr std::uint64_t NoVictim = ~0ull;
 
 /// One access that must be applied to shared state, shipped worker->merger.
 struct GlobalEvent {
@@ -89,7 +149,13 @@ struct GlobalEvent {
   /// event fires at completion + ExtraCycles. Drawn worker-side, in program
   /// order, so the merger never touches jitter state.
   std::uint64_t ExtraCycles = 0;
+  /// Replica-translated physical address; valid iff L2Probed.
+  std::uint64_t PA = 0;
   bool IsWrite = false;
+  /// The worker already translated VA from its replica and ran (and missed)
+  /// the private-L2 probe. The merger must complete via missAfterL1Probed
+  /// and repeat neither — the probe mutates hit/miss counters and LRU.
+  bool L2Probed = false;
 };
 
 /// Merger -> worker: the stalled node's thread may re-enter the local loop
@@ -97,6 +163,14 @@ struct GlobalEvent {
 struct Resume {
   unsigned ThreadId = 0;
   std::uint64_t NextKey = 0;
+  /// Replica delta piggybacked on the resume (page-granularity configs
+  /// with replicas on): the translation of the page the completed access
+  /// touched. MapPPN < 0 when no mapping is carried. Riding the resume
+  /// makes delivery reliable — no separate delta channel that could drop
+  /// or reorder — and guarantees the mapping lands in the worker's replica
+  /// before the node takes another step.
+  std::uint64_t MapVPN = 0;
+  std::int64_t MapPPN = -1;
 };
 
 /// Per-node published lower bound; padded so neighbouring nodes' bounds
@@ -133,18 +207,47 @@ struct NodeState {
 };
 
 struct Worker {
+  /// Position in ParallelRun::Workers; names the worker in WindowDrain
+  /// trace events and indexes the merger's pending-resume buffers.
+  unsigned Index = 0;
   ShardRange Range;
   SpscQueue<GlobalEvent> Events;  // worker -> merger
   SpscQueue<Resume> Resumes;      // merger -> worker
   std::vector<NodeState> Nodes;   // indexed by node - Range.Begin
+  /// Events shipped since the last window drain. Every entry's node is
+  /// already stalled with its LB published, so holding the chunk delays
+  /// the merger but can never change what it is allowed to pop.
+  std::vector<GlobalEvent> OutChunk;
+  /// Scratch buffer for chunked resume pops.
+  std::vector<Resume> ResumeChunk;
+  /// Shard-local replica of the VM translation slice: VPN -> PPN, -1
+  /// unmapped. Single-writer (this worker, applying resume-carried
+  /// deltas), never read by anyone else.
+  std::vector<std::int64_t> Replica;
+  /// Merger epoch the replica was last synced at (sampled when draining
+  /// resumes; compared against ParallelRun::Epoch at lookup time).
+  std::uint64_t SyncedEpoch = 0;
   /// Tile-local counters and latency samples, merged after join.
-  SimResult Partial;
+  ///
+  /// False-sharing audit: this is the hottest per-worker write target —
+  /// several stores per simulated access. Workers live in separate heap
+  /// allocations, so cross-worker sharing is the allocator's problem, but
+  /// within the struct the members above (queue indices are already
+  /// alignas(64) inside SpscQueue; the vectors' inline headers are
+  /// read-mostly after setup) would otherwise share Partial's first line.
+  /// Starting Partial on its own cache line keeps the per-access counter
+  /// stores from invalidating the lines the merger's pushAll reads (the
+  /// queue headers) on every window.
+  alignas(64) SimResult Partial;
   double StreamSeconds = 0.0;
   std::uint64_t StreamCalls = 0;
   std::thread Thread;
 
-  explicit Worker(ShardRange R)
-      : Range(R), Events(R.size()), Resumes(R.size()), Nodes(R.size()) {}
+  Worker(ShardRange R, unsigned Idx)
+      : Index(Idx), Range(R), Events(R.size()), Resumes(R.size()),
+        Nodes(R.size()) {
+    ResumeChunk.resize(R.size());
+  }
 };
 
 class ParallelRun {
@@ -155,7 +258,13 @@ public:
       : M(M), Config(Config), Threads(Threads), ThreadShift(ThreadShift),
         ThreadMask((1ull << ThreadShift) - 1), LocalL2(M.localL2Eligible()),
         Timing(Config.CollectPhaseTimes), Sink(Sink), Ledger(Ledger),
-        LB(Config.numNodes()), OwnerOf(Config.numNodes(), nullptr) {}
+        Batch(Config.SimWindowBatch < 1 ? 1 : Config.SimWindowBatch),
+        ReplicaOn(Config.SimReplicaEpochs > 0 && !Config.SharedL2 &&
+                  Config.Granularity == InterleaveGranularity::Page &&
+                  Sink == nullptr),
+        PageShift(log2Floor(Config.PageBytes)),
+        PageMask(Config.PageBytes - 1), LB(Config.numNodes()),
+        OwnerOf(Config.numNodes(), nullptr) {}
 
   void run() {
     unsigned NumNodes = Config.numNodes();
@@ -182,8 +291,11 @@ public:
 
     Workers.reserve(Ranges.size());
     for (ShardRange Range : Ranges) {
-      Workers.push_back(std::make_unique<Worker>(Range));
+      Workers.push_back(
+          std::make_unique<Worker>(Range,
+                                   static_cast<unsigned>(Workers.size())));
       Worker &W = *Workers.back();
+      W.OutChunk.reserve(Range.size());
       for (unsigned N = Range.Begin; N < Range.End; ++N) {
         NodeState &NS = W.Nodes[N - Range.Begin];
         NS.Pending = std::move(InitialPending[N]);
@@ -191,6 +303,9 @@ public:
         OwnerOf[N] = &W;
       }
     }
+    PendingResumes.resize(Workers.size());
+    for (std::unique_ptr<Worker> &W : Workers)
+      PendingResumes[W->Index].reserve(W->Range.size());
 
     // The directory (like all shared state) may only be advanced by the
     // merger; bind it so a stray worker-side lookup asserts in debug.
@@ -217,6 +332,13 @@ public:
       R.L1Hits += W->Partial.L1Hits;
       R.LocalL2Hits += W->Partial.LocalL2Hits;
       R.AccessLatency.merge(W->Partial.AccessLatency);
+      R.Engine.WorkerStallEvents += W->Partial.Engine.WorkerStallEvents;
+      R.Engine.ReplicaHits += W->Partial.Engine.ReplicaHits;
+      R.Engine.WindowDrains += W->Partial.Engine.WindowDrains;
+      // Round trips = every mailbox publish: each worker's event flushes
+      // plus the merger's resume flushes (already accumulated into R by
+      // the merger itself).
+      R.Engine.MergerRoundTrips += W->Partial.Engine.WindowDrains;
       StreamSeconds += W->StreamSeconds;
       StreamCalls += W->StreamCalls;
     }
@@ -227,6 +349,74 @@ private:
     return (Time << ThreadShift) | Thread;
   }
 
+  //===--------------------------------------------------------------------===//
+  // Replica maintenance (worker-side; see the file comment)
+  //===--------------------------------------------------------------------===//
+
+  static void replicaStore(Worker &W, std::uint64_t VPN, std::int64_t PPN) {
+    if (VPN >= W.Replica.size())
+      W.Replica.resize(VPN + 1, -1);
+    W.Replica[VPN] = PPN;
+  }
+
+  bool replicaTranslate(const Worker &W, std::uint64_t VA,
+                        std::uint64_t *PA) const {
+    std::uint64_t VPN = VA >> PageShift;
+    if (VPN >= W.Replica.size() || W.Replica[VPN] < 0)
+      return false;
+    *PA = (static_cast<std::uint64_t>(W.Replica[VPN]) << PageShift) +
+          (VA & PageMask);
+    return true;
+  }
+
+  bool replicaFresh(const Worker &W) const {
+    return Epoch.load(std::memory_order_relaxed) - W.SyncedEpoch <
+           Config.SimReplicaEpochs;
+  }
+
+  /// Publishes the worker's buffered events in one chunked push (one
+  /// release for the whole window). Counted as one WindowDrain.
+  void flushEvents(Worker &W) {
+    if (W.OutChunk.empty())
+      return;
+    if (Sink && Config.Trace.EngineEvents) {
+      // Safe single-writer emit: the merger takes ownership of a node's
+      // trace buffer only once its event is published, which happens in
+      // the pushAll below — every chunk node is still worker-owned here.
+      const GlobalEvent &F = W.OutChunk.front();
+      unsigned Tid = static_cast<unsigned>(F.Key & ThreadMask);
+      Sink->emit(Threads[Tid].Node, F.Key, TraceKind::WindowDrain,
+                 F.Key >> ThreadShift, 0, F.VA,
+                 (W.Index << 16) |
+                     static_cast<std::uint32_t>(W.OutChunk.size()));
+    }
+    W.Events.pushAll(W.OutChunk.data(), W.OutChunk.size());
+    W.OutChunk.clear();
+    ++W.Partial.Engine.WindowDrains;
+  }
+
+  /// Publishes the merger's buffered resumes for one worker. \returns
+  /// whether anything went out.
+  bool flushResumes(Worker &W) {
+    std::vector<Resume> &P = PendingResumes[W.Index];
+    if (P.empty())
+      return false;
+    W.Resumes.pushAll(P.data(), P.size());
+    P.clear();
+    ++MergedR.Engine.MergerRoundTrips;
+    return true;
+  }
+
+  /// End of a merger round: flush every worker's pending resumes and, if
+  /// anything was published, advance the epoch (one window boundary).
+  void flushAllResumes() {
+    bool Any = false;
+    for (std::unique_ptr<Worker> &W : Workers)
+      Any |= flushResumes(*W);
+    if (Any && ReplicaOn)
+      Epoch.fetch_add(1, std::memory_order_relaxed);
+  }
+
   void workerLoop(Worker &W) {
     using Clock = std::chrono::steady_clock;
     AccessRequest Req;
@@ -235,14 +425,26 @@ private:
 
       // Un-stall nodes whose in-flight access the merger completed. The
       // acquire pop also makes the merger's cache-state writes visible.
-      Resume Rs;
-      while (W.Resumes.tryPop(Rs)) {
-        unsigned Node = Threads[Rs.ThreadId].Node;
-        NodeState &NS = W.Nodes[Node - W.Range.Begin];
-        NS.Stalled = false;
-        NS.Pending.push_back(Rs.NextKey);
+      // The epoch is sampled *before* draining: the replica then provably
+      // contains every delta published up to that epoch value.
+      std::uint64_t EpochNow =
+          ReplicaOn ? Epoch.load(std::memory_order_relaxed) : 0;
+      std::size_t NRes;
+      while ((NRes = W.Resumes.popAll(W.ResumeChunk.data(),
+                                      W.ResumeChunk.size())) != 0) {
+        for (std::size_t I = 0; I < NRes; ++I) {
+          const Resume &Rs = W.ResumeChunk[I];
+          unsigned Node = Threads[Rs.ThreadId].Node;
+          NodeState &NS = W.Nodes[Node - W.Range.Begin];
+          NS.Stalled = false;
+          NS.Pending.push_back(Rs.NextKey);
+          if (ReplicaOn && Rs.MapPPN >= 0)
+            replicaStore(W, Rs.MapVPN, Rs.MapPPN);
+        }
         Progress = true;
       }
+      if (ReplicaOn)
+        W.SyncedEpoch = EpochNow;
 
       bool AnyActive = false;
       for (unsigned Node = W.Range.Begin; Node < W.Range.End; ++Node) {
@@ -322,10 +524,49 @@ private:
                          Config.L2LatencyCycles, Req.VA, T.Node);
           }
 
-          // Off-tile: ship to the merger and stall the node. Publish the
-          // bound before the push so the merger can never see the event
-          // with a larger-than-shipped bound; the release push carries the
-          // node's cache state to the merger.
+          // Replica fast path (page interleaving, private L2s): if the
+          // shard-local replica resolves the page, probe our own L2 by
+          // physical address — the exact probe the serial flow would run —
+          // and complete the access without the merger on a hit. The
+          // mutations match the serial sequence one for one: L2
+          // LRU/dirty/stat update, L1 insert, dirty-victim L2 writeback
+          // (victim translated from the replica; see the file comment for
+          // why it must be there), counters and the latency sample.
+          std::uint64_t EvPA = 0;
+          bool EvProbed = false;
+          if (ReplicaOn && replicaFresh(W) &&
+              replicaTranslate(W, Req.VA, &EvPA)) {
+            std::uint64_t T2 = T1 + Config.L2LatencyCycles;
+            if (M.l2ProbeByPhys(T.Node, EvPA, Req.IsWrite)) {
+              ++W.Partial.TotalAccesses;
+              ++W.Partial.LocalL2Hits;
+              ++W.Partial.Engine.ReplicaHits;
+              std::uint64_t VictimVA =
+                  M.fillL1PendingVictim(T.Node, Req.VA, Req.IsWrite);
+              if (VictimVA != NoVictim) {
+                std::uint64_t VictimPA = 0;
+                bool Mapped = replicaTranslate(W, VictimVA, &VictimPA);
+                assert(Mapped &&
+                       "dirty L1 victim's page missing from replica");
+                (void)Mapped;
+                M.l2MarkDirtyByPhys(T.Node, VictimPA);
+              }
+              W.Partial.AccessLatency.addSample(
+                  static_cast<double>(T2 - Time));
+              if (Ledger)
+                Ledger->retire(Tid, Key);
+              NS.Pending.push_back(pack(nextTime(T, T2, Req), Tid));
+              continue;
+            }
+            // Probe ran worker-side and missed: ship pre-translated so the
+            // merger repeats neither the translation nor the probe.
+            EvProbed = true;
+          }
+
+          // Off-tile: buffer for the merger and stall the node. Publish
+          // the bound before buffering so the merger can never see the
+          // event with a larger-than-shipped bound; the chunk's eventual
+          // release push carries the node's cache state to the merger.
           GlobalEvent E;
           E.Key = Key;
           E.VA = Req.VA;
@@ -333,10 +574,15 @@ private:
           E.ExtraCycles = T.nextGap();
           if (Req.Transformed)
             E.ExtraCycles += Config.TransformOverheadCycles;
+          E.PA = EvPA;
           E.IsWrite = Req.IsWrite;
+          E.L2Probed = EvProbed;
           NS.Stalled = true;
+          ++W.Partial.Engine.WorkerStallEvents;
           LB[T.Node].V.store(Key, std::memory_order_relaxed);
-          W.Events.push(E);
+          W.OutChunk.push_back(E);
+          if (W.OutChunk.size() >= Batch)
+            flushEvents(W);
           break;
         }
         if (!NS.Stalled) {
@@ -349,6 +595,11 @@ private:
           AnyActive = true;
         }
       }
+
+      // The sweep is the window: everything it shipped goes out in one
+      // publish. Holding events longer could pin the global LB minimum at
+      // an unpublished key and make every other shard wait on this one.
+      flushEvents(W);
 
       if (!AnyActive && W.Resumes.empty())
         break;
@@ -365,7 +616,9 @@ private:
       std::uint64_t VA = 0;
       std::uint64_t NodeLBAfter = 0;
       std::uint64_t ExtraCycles = 0;
+      std::uint64_t PA = 0;
       bool IsWrite = false;
+      bool L2Probed = false;
     };
     std::vector<Payload> Pay(Threads.size());
     std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
@@ -373,18 +626,31 @@ private:
         Heap;
     SimResult &R = MergedR;
 
+    std::size_t MaxShard = 0;
+    for (std::unique_ptr<Worker> &W : Workers)
+      MaxShard = std::max(MaxShard, static_cast<std::size_t>(
+                                        W->Range.size()));
+    std::vector<GlobalEvent> EvChunk(MaxShard);
+
     for (;;) {
       bool Drained = false;
       for (std::unique_ptr<Worker> &W : Workers) {
-        GlobalEvent E;
-        while (W->Events.tryPop(E)) {
-          unsigned Tid = static_cast<unsigned>(E.Key & ThreadMask);
-          Pay[Tid] = {E.VA, E.NodeLBAfter, E.ExtraCycles, E.IsWrite};
-          Heap.push(E.Key);
+        std::size_t N;
+        while ((N = W->Events.popAll(EvChunk.data(), EvChunk.size())) != 0) {
+          for (std::size_t I = 0; I < N; ++I) {
+            const GlobalEvent &E = EvChunk[I];
+            unsigned Tid = static_cast<unsigned>(E.Key & ThreadMask);
+            Pay[Tid] = {E.VA,        E.NodeLBAfter, E.ExtraCycles,
+                        E.PA,        E.IsWrite,     E.L2Probed};
+            Heap.push(E.Key);
+          }
           Drained = true;
         }
       }
       if (Heap.empty()) {
+        // Never wait while holding resumes: a buffered resume is the only
+        // thing standing between a stalled node and its next event.
+        flushAllResumes();
         if (WorkersLive.load(std::memory_order_acquire) == 0 && !Drained)
           break;
         std::this_thread::yield();
@@ -413,16 +679,20 @@ private:
         // the merger: peek() sees exactly the future the serial loop sees
         // at this point of the key order, and the SPSC resume's release
         // push carries any lookahead-buffer growth back to the worker.
-        std::uint64_t Done =
-            LocalL2
-                ? M.missAfterL2(T.Node, P.VA, P.IsWrite, Time, R, &T.Stream)
-                : M.missAfterL1(T.Node, P.VA, P.IsWrite, Time, R, &T.Stream);
+        std::uint64_t Done;
+        if (P.L2Probed)
+          Done = M.missAfterL1Probed(T.Node, P.VA, P.PA, P.IsWrite, Time, R,
+                                     &T.Stream);
+        else if (LocalL2)
+          Done = M.missAfterL2(T.Node, P.VA, P.IsWrite, Time, R, &T.Stream);
+        else
+          Done = M.missAfterL1(T.Node, P.VA, P.IsWrite, Time, R, &T.Stream);
         if (Sink)
           Sink->endShared();
         std::uint64_t NextKey = pack(Done + P.ExtraCycles, Tid);
-        // Retire before pushing the resume: the push's release pairs with
-        // the worker's acquire pop, ordering this write against the
-        // thread's next issue.
+        // Retire before queueing the resume: the eventual flush's release
+        // pairs with the worker's acquire pop, ordering this write against
+        // the thread's next issue.
         if (Ledger)
           Ledger->retire(Tid, Key);
         std::uint64_t NewLB = std::min(NextKey, P.NodeLBAfter);
@@ -432,9 +702,28 @@ private:
         // The resumed node may now hold the smallest bound — fold it in so
         // the next pop cannot run past it.
         MinLB = std::min(MinLB, NewLB);
-        OwnerOf[T.Node]->Resumes.push({Tid, NextKey});
+
+        Resume Rs;
+        Rs.ThreadId = Tid;
+        Rs.NextKey = NextKey;
+        if (ReplicaOn) {
+          // Piggyback the touched page's translation (mapped by this very
+          // access if it was the first touch — peek cannot miss here).
+          std::uint64_t MapPA = 0;
+          if (M.peekTranslate(P.VA, &MapPA)) {
+            Rs.MapVPN = P.VA >> PageShift;
+            Rs.MapPPN = static_cast<std::int64_t>(MapPA >> PageShift);
+          }
+        }
+        Worker &O = *OwnerOf[T.Node];
+        PendingResumes[O.Index].push_back(Rs);
+        if (PendingResumes[O.Index].size() >= Batch)
+          flushResumes(O);
         Progress = true;
       }
+      // End of the round: the window closes, every pending resume goes out
+      // in one chunked push per worker, and the epoch advances.
+      flushAllResumes();
       if (!Progress && !Drained)
         std::this_thread::yield();
     }
@@ -454,9 +743,22 @@ private:
   bool Timing;
   TraceSink *Sink;
   RequestLedger *Ledger;
+  /// Window size: events/resumes buffered per mailbox publish.
+  std::uint64_t Batch;
+  /// Replica fast path armed (page granularity, private L2s, replicas
+  /// requested, no trace sink).
+  bool ReplicaOn;
+  unsigned PageShift;
+  std::uint64_t PageMask;
   std::vector<PaddedKey> LB;
   std::vector<Worker *> OwnerOf;
   std::vector<std::unique_ptr<Worker>> Workers;
+  /// Merger-side resume buffers, one per worker, flushed per round.
+  std::vector<std::vector<Resume>> PendingResumes;
+  /// Merger window counter: bumped after each resume-flush round. Workers
+  /// sample it when draining resumes; SimReplicaEpochs bounds the lag a
+  /// replica lookup tolerates.
+  std::atomic<std::uint64_t> Epoch{0};
   std::atomic<unsigned> WorkersLive{0};
 
   std::uint64_t nextTime(EngineThread &T, std::uint64_t Done,

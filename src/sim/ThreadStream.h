@@ -53,6 +53,15 @@ public:
 
   std::uint64_t generated() const { return Generated; }
 
+  /// Host bytes held by the lookahead buffer, counting capacity (what the
+  /// process actually pays, including the consumed prefix awaiting
+  /// compaction). The peekSpan() consumed-prefix compaction keeps this
+  /// bounded by ~2x the largest peek window regardless of how many
+  /// accesses the stream produces — the memory regression tests pin that.
+  std::size_t lookaheadBytes() const {
+    return Lookahead.capacity() * sizeof(AccessRequest);
+  }
+
 private:
   /// The former next() body: produces the next access straight from the
   /// program walk, without consulting the lookahead buffer or counting it

@@ -12,6 +12,12 @@
 /// see ParallelEngine.cpp). tryPush() reports fullness instead of blocking,
 /// and the debug build asserts on overflow so sizing bugs surface loudly.
 ///
+/// Chunked transfer: pushAll()/popAll() move a whole batch of elements under
+/// a single release/acquire index pair, so a window of N events costs the
+/// same two atomic operations as a single event — the amortization behind
+/// the parallel engine's batched window drains (MachineConfig::
+/// SimWindowBatch).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OFFCHIP_SUPPORT_SPSCQUEUE_H
@@ -59,6 +65,25 @@ public:
     assert(Ok && "SpscQueue overflow: capacity bound violated");
   }
 
+  /// Producer side, chunked: appends \p N elements from \p Values under one
+  /// release store. The ring must have room for the whole chunk (the engine
+  /// bounds in-flight work at one event per node, and chunk buffers are
+  /// flushed before they can exceed that bound).
+  void pushAll(const T *Values, std::size_t N) {
+    if (N == 0)
+      return;
+    std::size_t T0 = Tail.load(std::memory_order_relaxed);
+    std::size_t H = Head.load(std::memory_order_acquire);
+    assert(T0 - H + N <= Mask + 1 &&
+           "SpscQueue overflow: chunk exceeds capacity bound");
+    (void)H;
+    for (std::size_t I = 0; I < N; ++I)
+      Slots[(T0 + I) & Mask] = Values[I];
+    // One release publishes the whole chunk (and everything the producer
+    // wrote before it) — the batched-drain amortization.
+    Tail.store(T0 + N, std::memory_order_release);
+  }
+
   /// Consumer side. \returns false when the ring is empty.
   bool tryPop(T &Out) {
     std::size_t H = Head.load(std::memory_order_relaxed);
@@ -70,6 +95,22 @@ public:
     return true;
   }
 
+  /// Consumer side, chunked: pops up to \p Max elements into \p Out under
+  /// one acquire/release index pair. \returns the number popped (zero when
+  /// the ring is empty).
+  std::size_t popAll(T *Out, std::size_t Max) {
+    std::size_t H = Head.load(std::memory_order_relaxed);
+    std::size_t T0 = Tail.load(std::memory_order_acquire);
+    std::size_t N = T0 - H;
+    if (N > Max)
+      N = Max;
+    for (std::size_t I = 0; I < N; ++I)
+      Out[I] = Slots[(H + I) & Mask];
+    if (N != 0)
+      Head.store(H + N, std::memory_order_release);
+    return N;
+  }
+
   /// Consumer-side emptiness probe (racy by nature; used for idle checks).
   bool empty() const {
     return Head.load(std::memory_order_acquire) ==
@@ -77,6 +118,17 @@ public:
   }
 
 private:
+  // False-sharing audit (perf-c2c reasoning; see also ParallelEngine.cpp's
+  // Worker layout): the three mutable locations of a queue have three
+  // distinct writers' access patterns — Slots is written by the producer
+  // and read by the consumer (handoff traffic, unavoidable), Head is
+  // written only by the consumer, Tail only by the producer. If Head and
+  // Tail shared a line, every push would invalidate the consumer's cached
+  // copy of Head (and vice versa), turning each transfer into two extra
+  // coherence round trips; alignas(64) on both keeps each index's line
+  // owned by its single writer, and the trailing padding implied by the
+  // alignment keeps Tail from sharing its line with whatever the enclosing
+  // struct places after the queue.
   std::vector<T> Slots;
   std::size_t Mask = 0;
   /// Separate cache lines: the producer writes Tail while the consumer

@@ -36,6 +36,8 @@ const char *kindName(TraceKind K) {
     return "access";
   case TraceKind::BurstCoalesce:
     return "burst";
+  case TraceKind::WindowDrain:
+    return "window-drain";
   }
   return "?";
 }

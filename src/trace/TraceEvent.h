@@ -47,6 +47,14 @@ enum class TraceKind : std::uint8_t {
   BurstCoalesce,  ///< A coalesced wide DRAM transaction (appended last:
                   ///< values are stable across exports); Aux = (MC id << 8)
                   ///< | line count, Dur = bank service cycles.
+  WindowDrain,    ///< A parallel-engine worker flushed its event chunk to
+                  ///< the merger (appended last, keeping prior values
+                  ///< stable); Key/Start stamp the chunk's first event,
+                  ///< Aux = (worker index << 16) | chunk size. Emitted only
+                  ///< under TraceConfig::EngineEvents — it describes host
+                  ///< execution, so it exists only at --sim-threads >= 2
+                  ///< and would break the cross-engine byte-identity of
+                  ///< default traces.
 };
 
 /// Fixed-size binary event record (see the file comment for the ordering
@@ -80,6 +88,11 @@ struct TraceConfig {
   /// Drops are deterministic — a pure function of the node's event
   /// sequence — so capped traces stay byte-identical across --sim-threads.
   std::uint64_t MaxEventsPerNode = 4096;
+  /// Also record parallel-engine host-execution events (WindowDrain). Off
+  /// by default because such events only exist at --sim-threads >= 2:
+  /// enabling them forfeits the byte-identity of trace files across
+  /// engines (simulated results are untouched either way).
+  bool EngineEvents = false;
 };
 
 /// Everything an exporter needs, detached from the live simulation:

@@ -175,6 +175,95 @@ TEST(ParallelEngine, BurstCoalesceCacheLineIdentical) {
   checkVariantAcrossSimThreads("swim", C, RunVariant::Original);
 }
 
+TEST(ParallelEngine, BatchedDrainsCacheLineIdentical) {
+  // Chunked mailbox publishes (SimWindowBatch > 1) must not change results
+  // at any window size: the LB is published before an event is buffered,
+  // so batching only ever delays the merger, never reorders it.
+  for (unsigned Batch : {16u, 256u}) {
+    MachineConfig C = smallConfig();
+    C.Granularity = InterleaveGranularity::CacheLine;
+    C.SimWindowBatch = Batch;
+    SCOPED_TRACE(testing::Message() << "SimWindowBatch=" << Batch);
+    checkVariantAcrossSimThreads("swim", C, RunVariant::Original);
+  }
+}
+
+TEST(ParallelEngine, BatchedDrainsPageIdentical) {
+  // Page granularity ships every L1 miss, so windows actually fill here.
+  MachineConfig C = smallConfig();
+  C.Granularity = InterleaveGranularity::Page;
+  C.SimWindowBatch = 64;
+  checkVariantAcrossSimThreads("swim", C, RunVariant::Original);
+}
+
+TEST(ParallelEngine, ReplicaIdenticalAndActuallyHits) {
+  // Shard-local translation replicas: bit-identical results, and the fast
+  // path must actually fire on a page-interleaved run (a vacuous pass with
+  // zero replica hits would hide a broken gate).
+  MachineConfig C = smallConfig();
+  C.Granularity = InterleaveGranularity::Page;
+  C.SimReplicaEpochs = 4;
+  C.SimWindowBatch = 16;
+  checkVariantAcrossSimThreads("swim", C, RunVariant::Original);
+
+  AppModel App = buildApp("swim", 0.1);
+  ClusterMapping M = makeM1Mapping(C);
+  C.SimThreads = 4;
+  SimResult R = runVariant(App, C, M, RunVariant::Original);
+  EXPECT_GT(R.Engine.ReplicaHits, 0u);
+  EXPECT_GT(R.Engine.WindowDrains, 0u);
+  EXPECT_GT(R.Engine.WorkerStallEvents, 0u);
+}
+
+TEST(ParallelEngine, ReplicaSingleEpochIdentical) {
+  // The tightest staleness bound: a worker may only use its replica when
+  // fully caught up with the merger's last window. Results must not
+  // depend on how often that is true.
+  MachineConfig C = smallConfig();
+  C.Granularity = InterleaveGranularity::Page;
+  C.SimReplicaEpochs = 1;
+  checkVariantAcrossSimThreads("swim", C, RunVariant::Optimized);
+}
+
+TEST(ParallelEngine, ReplicaBurstCoalesceIdentical) {
+  // Worker-local replica completions interleaved with merger-side burst
+  // coalescing decisions (which peek thread streams).
+  MachineConfig C = smallConfig();
+  C.Granularity = InterleaveGranularity::Page;
+  C.Burst.Enabled = true;
+  C.SimReplicaEpochs = 4;
+  C.SimWindowBatch = 256;
+  checkVariantAcrossSimThreads("swim", C, RunVariant::Optimized);
+}
+
+TEST(ParallelEngine, EngineCountersAccountPublishes) {
+  // With SimWindowBatch=1 and no replicas the protocol pays exactly one
+  // event publish plus one resume publish per shipped access; batching
+  // must amortize publishes without changing what ships.
+  MachineConfig C = smallConfig();
+  C.Granularity = InterleaveGranularity::CacheLine;
+  AppModel App = buildApp("swim", 0.1);
+  ClusterMapping M = makeM1Mapping(C);
+  C.SimThreads = 2;
+  C.SimWindowBatch = 1;
+  SimResult Unbatched = runVariant(App, C, M, RunVariant::Original);
+  EXPECT_GT(Unbatched.Engine.WorkerStallEvents, 0u);
+  EXPECT_EQ(Unbatched.Engine.WindowDrains,
+            Unbatched.Engine.WorkerStallEvents);
+  EXPECT_EQ(Unbatched.Engine.MergerRoundTrips,
+            2 * Unbatched.Engine.WorkerStallEvents);
+  EXPECT_EQ(Unbatched.Engine.ReplicaHits, 0u);
+
+  C.SimWindowBatch = 256;
+  SimResult Batched = runVariant(App, C, M, RunVariant::Original);
+  // Shipped accesses are simulation-determined, so they cannot move; the
+  // publish count must drop.
+  EXPECT_EQ(Batched.Engine.WorkerStallEvents,
+            Unbatched.Engine.WorkerStallEvents);
+  EXPECT_LT(Batched.Engine.MergerRoundTrips,
+            Unbatched.Engine.MergerRoundTrips);
+}
+
 TEST(ParallelEngine, MultiprogrammedCoRunIdentical) {
   // Two apps sharing every node (the fig25 contention scenario), plus the
   // per-app MultiRunOutputs.

@@ -230,6 +230,42 @@ TEST(ThreadStream, EmptyChunksProduceNothing) {
   EXPECT_FALSE(S.next(Req));
 }
 
+TEST(ThreadStream, LookaheadMemoryStaysBoundedUnderFrequentPeeks) {
+  // Regression: the burst coalescer peeks a window ahead on every miss,
+  // and under the parallel engine's batched window drains many such
+  // windows open between merger trips. The peekSpan consumed-prefix
+  // compaction must keep the lookahead buffer's capacity pinned near the
+  // window size instead of growing with the stream (it once retained
+  // every consumed access until the stream ended).
+  MachineConfig C = tinyConfig();
+  AffineProgram P("long");
+  ArrayId A = P.addArray({"a", {32, 32}, 8});
+  LoopNest Nest("n", IterationSpace({0, 0}, {32, 32}), 0);
+  Nest.addRef(pointRef(A, {0, 0}, false, 2));
+  Nest.setRepeatCount(64);
+  P.addNest(std::move(Nest));
+  LayoutPlan Plan = LayoutTransformer::originalPlan(P);
+  VmConfig VC;
+  VC.NumMCs = C.NumMCs;
+  VirtualMemory VM(VC, PageAllocPolicy::InterleavedRoundRobin);
+  AddressMap Map(P, Plan, VM, C);
+  ThreadStream S(Map, 0, 1);
+  AccessRequest Req;
+  std::size_t Peak = 0;
+  std::size_t Avail = 0;
+  std::uint64_t N = 0;
+  while (S.next(Req)) {
+    ++N;
+    S.peekSpan(256, &Avail);
+    Peak = std::max(Peak, S.lookaheadBytes());
+  }
+  // 64 repeats x 32x32 iterations; ~1M peeked accesses consumed.
+  EXPECT_EQ(N, 64u * 32 * 32);
+  // The whole stream is ~16 MB of AccessRequests; the buffer must stay
+  // bounded by the peek window (~2x 256 requests), far under 1 MB.
+  EXPECT_LT(Peak, std::size_t(1) << 20);
+}
+
 //===----------------------------------------------------------------------===//
 // Engine end-to-end
 //===----------------------------------------------------------------------===//

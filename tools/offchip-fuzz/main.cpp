@@ -224,6 +224,14 @@ MachineConfig randomConfig(SplitMix64 &R) {
   static const unsigned MaxLines[] = {2, 4, 8};
   C.Burst.WindowAccesses = pick(R, Windows);
   C.Burst.MaxLines = pick(R, MaxLines);
+
+  // Parallel-engine knobs: chunked mailbox publishes and shard-local
+  // translation replicas amortize merger round trips but must never move a
+  // single result bit at any setting.
+  static const unsigned WindowBatches[] = {1, 4, 16, 256};
+  C.SimWindowBatch = pick(R, WindowBatches);
+  static const unsigned ReplicaEpochs[] = {0, 1, 4};
+  C.SimReplicaEpochs = pick(R, ReplicaEpochs);
   C.CheckInvariants = true;
   return C;
 }
@@ -311,6 +319,8 @@ std::string renderConfigCode(const MachineConfig &C) {
          (C.Burst.Enabled ? "true" : "false") + ";\n";
   Out += "  C.Burst.WindowAccesses = " + U(C.Burst.WindowAccesses) + ";\n";
   Out += "  C.Burst.MaxLines = " + U(C.Burst.MaxLines) + ";\n";
+  Out += "  C.SimWindowBatch = " + U(C.SimWindowBatch) + ";\n";
+  Out += "  C.SimReplicaEpochs = " + U(C.SimReplicaEpochs) + ";\n";
   Out += "  C.CheckInvariants = true;\n";
   return Out;
 }
@@ -505,6 +515,10 @@ TrialSpec shrink(TrialSpec S, TrialOutcome &Witness) {
       TryConfig([&Def](MachineConfig &C) {
         C.ComputeGapCycles = Def.ComputeGapCycles;
       });
+    if (S.Config.SimReplicaEpochs != 0)
+      TryConfig([](MachineConfig &C) { C.SimReplicaEpochs = 0; });
+    if (S.Config.SimWindowBatch != 1)
+      TryConfig([](MachineConfig &C) { C.SimWindowBatch = 1; });
   }
   return S;
 }
