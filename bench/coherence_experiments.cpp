@@ -1,0 +1,80 @@
+//===- bench/coherence_experiments.cpp - coherence cost/benefit table -----===//
+///
+/// The EXPERIMENTS.md coherence table: for each app of the Figure 3 setup
+/// (8x8 mesh, private L2s, page interleaving), the average off-chip access
+/// latency (off-chip network legs + memory service, cycles per off-chip
+/// access) and the mesh link utilization (busy link-cycles over
+/// ExecutionCycles x 4 links/node x nodes), for both the original and the
+/// layout-optimized variant. Run once plain and once with --coherence msi
+/// to fill the layout on/off x coherence on/off matrix.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/BenchSuite.h"
+#include "support/Format.h"
+
+using namespace offchip;
+
+namespace {
+
+double offChipLatency(const SimResult &R) {
+  return R.OffChipNetLatency.mean() + R.MemLatency.mean();
+}
+
+double linkUtilization(const SimResult &R) {
+  if (R.ExecutionCycles == 0 || R.NumNodes == 0)
+    return 0.0;
+  double LinkCycles = static_cast<double>(R.ExecutionCycles) *
+                      4.0 * static_cast<double>(R.NumNodes);
+  return static_cast<double>(R.LinkBusyCycles) / LinkCycles;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  MachineConfig Config = MachineConfig::scaledDefault();
+  Config.Granularity = InterleaveGranularity::Page;
+  BenchSuite Suite("Coherence experiments: off-chip latency and link load",
+                   "protocol traffic raises link utilization; the optimized "
+                   "layout recovers most of the off-chip latency either way",
+                   Config);
+  if (auto Ec = Suite.parseArgs(Argc, Argv))
+    return *Ec;
+
+  struct Row {
+    std::string Name;
+    SimFuture Base, Opt;
+  };
+  std::vector<Row> Rows;
+  for (const std::string &Name : Suite.apps()) {
+    auto App = Suite.app(Name);
+    Rows.push_back({Name, Suite.run(App, RunVariant::Original),
+                    Suite.run(App, RunVariant::Optimized)});
+  }
+
+  Suite.header();
+  Suite.columns({{"app", 12},
+                 {"offchip-lat", 12},
+                 {"opt-lat", 12},
+                 {"link-util", 10},
+                 {"opt-util", 10}});
+  double SumBaseLat = 0, SumOptLat = 0, SumBaseUtil = 0, SumOptUtil = 0;
+  for (Row &R : Rows) {
+    const SimResult &Base = R.Base.get();
+    const SimResult &Opt = R.Opt.get();
+    SumBaseLat += offChipLatency(Base);
+    SumOptLat += offChipLatency(Opt);
+    SumBaseUtil += linkUtilization(Base);
+    SumOptUtil += linkUtilization(Opt);
+    Suite.row({R.Name, formatString("%.1f", offChipLatency(Base)),
+               formatString("%.1f", offChipLatency(Opt)),
+               formatString("%.2f%%", 100.0 * linkUtilization(Base)),
+               formatString("%.2f%%", 100.0 * linkUtilization(Opt))});
+  }
+  double N = static_cast<double>(Suite.apps().size());
+  Suite.row({"AVERAGE", formatString("%.1f", SumBaseLat / N),
+             formatString("%.1f", SumOptLat / N),
+             formatString("%.2f%%", 100.0 * SumBaseUtil / N),
+             formatString("%.2f%%", 100.0 * SumOptUtil / N)});
+  return 0;
+}

@@ -114,6 +114,11 @@ CacheKey offchip::requestKey(const SimRequest &R) {
   H.u64(0x3F, C.Burst.WindowAccesses);
   H.u64(0x40, C.Burst.MaxLines);
   H.u64(0x41, C.Dram.Timing.BurstBeatCycles);
+  H.u64(0x42, static_cast<std::uint64_t>(C.Coherence.Protocol));
+  H.u64(0x43, C.Coherence.SparseDirectory ? 1 : 0);
+  H.u64(0x44, C.Coherence.SparseEntries);
+  H.u64(0x45, C.Coherence.AckBytes);
+  H.u64(0x46, C.Coherence.InvalidateBytes);
 
   return H.key();
 }

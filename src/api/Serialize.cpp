@@ -229,6 +229,31 @@ bool pagePolicyFromName(const std::string &S, PageAllocPolicy *Out) {
   return true;
 }
 
+const char *coherenceName(MachineConfig::CoherenceProtocol P) {
+  switch (P) {
+  case MachineConfig::CoherenceProtocol::None:
+    return "none";
+  case MachineConfig::CoherenceProtocol::MSI:
+    return "msi";
+  case MachineConfig::CoherenceProtocol::MESI:
+    return "mesi";
+  }
+  return "none";
+}
+
+bool coherenceFromName(const std::string &S,
+                       MachineConfig::CoherenceProtocol *Out) {
+  if (S == "none")
+    *Out = MachineConfig::CoherenceProtocol::None;
+  else if (S == "msi")
+    *Out = MachineConfig::CoherenceProtocol::MSI;
+  else if (S == "mesi")
+    *Out = MachineConfig::CoherenceProtocol::MESI;
+  else
+    return false;
+  return true;
+}
+
 const char *statusName(ResponseStatus S) {
   switch (S) {
   case ResponseStatus::Ok:
@@ -288,6 +313,14 @@ JsonValue offchip::toJson(const MachineConfig &C) {
   O.set("burst_max_lines", JsonValue::number(C.Burst.MaxLines));
   O.set("dram_burst_beat_cycles",
         JsonValue::number(C.Dram.Timing.BurstBeatCycles));
+  O.set("coherence", JsonValue::string(coherenceName(C.Coherence.Protocol)));
+  O.set("coherence_sparse_dir",
+        JsonValue::boolean(C.Coherence.SparseDirectory));
+  O.set("coherence_sparse_entries",
+        JsonValue::number(C.Coherence.SparseEntries));
+  O.set("coherence_ack_bytes", JsonValue::number(C.Coherence.AckBytes));
+  O.set("coherence_invalidate_bytes",
+        JsonValue::number(C.Coherence.InvalidateBytes));
   O.set("sim_threads", JsonValue::number(C.SimThreads));
   O.set("sim_window_batch", JsonValue::number(C.SimWindowBatch));
   O.set("sim_replica_epochs", JsonValue::number(C.SimReplicaEpochs));
@@ -382,6 +415,19 @@ bool offchip::machineConfigFromJson(const JsonValue &V, MachineConfig *C,
       Ok = readU32(V, Key, &C->Burst.MaxLines, Err);
     else if (Key == "dram_burst_beat_cycles")
       Ok = readU32(V, Key, &C->Dram.Timing.BurstBeatCycles, Err);
+    else if (Key == "coherence") {
+      std::string S;
+      Ok = readString(V, Key, &S, Err) &&
+           (coherenceFromName(S, &C->Coherence.Protocol) ||
+            keyError(Err, Key, "expected none, msi or mesi"));
+    } else if (Key == "coherence_sparse_dir")
+      Ok = readBool(V, Key, &C->Coherence.SparseDirectory, Err);
+    else if (Key == "coherence_sparse_entries")
+      Ok = readU32(V, Key, &C->Coherence.SparseEntries, Err);
+    else if (Key == "coherence_ack_bytes")
+      Ok = readU32(V, Key, &C->Coherence.AckBytes, Err);
+    else if (Key == "coherence_invalidate_bytes")
+      Ok = readU32(V, Key, &C->Coherence.InvalidateBytes, Err);
     else if (Key == "sim_threads")
       Ok = readU32(V, Key, &C->SimThreads, Err);
     else if (Key == "sim_window_batch")
@@ -431,6 +477,15 @@ JsonValue offchip::toJson(const SimResult &R) {
   O.set("burst_transactions", JsonValue::number(R.BurstTransactions));
   O.set("burst_lines", JsonValue::number(R.BurstLines));
   O.set("per_mc_lines", u64Array(R.PerMCLines));
+  O.set("coherence_upgrades", JsonValue::number(R.CoherenceUpgrades));
+  O.set("invalidations", JsonValue::number(R.Invalidations));
+  O.set("invalidation_acks", JsonValue::number(R.InvalidationAcks));
+  O.set("downgrades", JsonValue::number(R.Downgrades));
+  O.set("coherence_writebacks", JsonValue::number(R.CoherenceWritebacks));
+  O.set("exclusive_grants", JsonValue::number(R.ExclusiveGrants));
+  O.set("dir_evictions", JsonValue::number(R.DirEvictions));
+  O.set("coh_msg_hops", histogramJson(R.CohMsgHops));
+  O.set("link_busy_cycles", JsonValue::number(R.LinkBusyCycles));
   return O;
 }
 
@@ -475,7 +530,27 @@ bool offchip::simResultFromJson(const JsonValue &V, SimResult *R,
          (!V.find("burst_lines") ||
           readU64(V, "burst_lines", &R->BurstLines, Err)) &&
          (!V.find("per_mc_lines") ||
-          readU64Array(V, "per_mc_lines", &R->PerMCLines, Err));
+          readU64Array(V, "per_mc_lines", &R->PerMCLines, Err)) &&
+         // Optional: absent in results serialized before coherence existed
+         // (the coherence-off defaults are all zero).
+         (!V.find("coherence_upgrades") ||
+          readU64(V, "coherence_upgrades", &R->CoherenceUpgrades, Err)) &&
+         (!V.find("invalidations") ||
+          readU64(V, "invalidations", &R->Invalidations, Err)) &&
+         (!V.find("invalidation_acks") ||
+          readU64(V, "invalidation_acks", &R->InvalidationAcks, Err)) &&
+         (!V.find("downgrades") ||
+          readU64(V, "downgrades", &R->Downgrades, Err)) &&
+         (!V.find("coherence_writebacks") ||
+          readU64(V, "coherence_writebacks", &R->CoherenceWritebacks, Err)) &&
+         (!V.find("exclusive_grants") ||
+          readU64(V, "exclusive_grants", &R->ExclusiveGrants, Err)) &&
+         (!V.find("dir_evictions") ||
+          readU64(V, "dir_evictions", &R->DirEvictions, Err)) &&
+         (!V.find("coh_msg_hops") ||
+          histogramFromJson(V, "coh_msg_hops", &R->CohMsgHops, Err)) &&
+         (!V.find("link_busy_cycles") ||
+          readU64(V, "link_busy_cycles", &R->LinkBusyCycles, Err));
 }
 
 //===----------------------------------------------------------------------===//

@@ -47,7 +47,8 @@ bool Cache::contains(std::uint64_t LineAddr) const {
   return false;
 }
 
-Cache::Eviction Cache::insert(std::uint64_t LineAddr, bool IsWrite) {
+Cache::Eviction Cache::insert(std::uint64_t LineAddr, bool IsWrite,
+                              LineState State) {
   unsigned Set = setOf(LineAddr);
   std::uint64_t Tag = tagOf(LineAddr);
   Way *Base = &Sets[static_cast<std::size_t>(Set) * Ways];
@@ -60,6 +61,7 @@ Cache::Eviction Cache::insert(std::uint64_t LineAddr, bool IsWrite) {
       // Already resident (racy double-insert); refresh instead.
       Entry.LastUse = ++UseClock;
       Entry.Dirty = Entry.Dirty || IsWrite;
+      Entry.State = State;
       return Eviction();
     }
     if (!Entry.Valid) {
@@ -75,12 +77,37 @@ Cache::Eviction Cache::insert(std::uint64_t LineAddr, bool IsWrite) {
     Out.Valid = true;
     Out.LineAddr = Victim->Tag;
     Out.Dirty = Victim->Dirty;
+    Out.State = Victim->State;
   }
   Victim->Tag = Tag;
   Victim->Valid = true;
   Victim->Dirty = IsWrite;
+  Victim->State = State;
   Victim->LastUse = ++UseClock;
   return Out;
+}
+
+int Cache::stateOf(std::uint64_t LineAddr) const {
+  unsigned Set = setOf(LineAddr);
+  std::uint64_t Tag = tagOf(LineAddr);
+  const Way *Base = &Sets[static_cast<std::size_t>(Set) * Ways];
+  for (unsigned W = 0; W < Ways; ++W)
+    if (Base[W].Valid && Base[W].Tag == Tag)
+      return static_cast<int>(Base[W].State);
+  return -1;
+}
+
+bool Cache::setState(std::uint64_t LineAddr, LineState State) {
+  unsigned Set = setOf(LineAddr);
+  std::uint64_t Tag = tagOf(LineAddr);
+  Way *Base = &Sets[static_cast<std::size_t>(Set) * Ways];
+  for (unsigned W = 0; W < Ways; ++W) {
+    if (Base[W].Valid && Base[W].Tag == Tag) {
+      Base[W].State = State;
+      return true;
+    }
+  }
+  return false;
 }
 
 bool Cache::markDirty(std::uint64_t LineAddr) {

@@ -17,6 +17,16 @@
 
 namespace offchip {
 
+/// Coherence protocol state of one resident line (MachineConfig::Coherence).
+/// Invalid has no encoding: invalid lines are simply not resident. In the
+/// coherence-free machine every line stays at the default Shared and nothing
+/// ever reads the field, so the pre-coherence flows are untouched.
+enum class LineState : std::uint8_t {
+  Shared = 0,   ///< Clean, possibly multiple holders (MSI/MESI S).
+  Exclusive,    ///< Clean, sole holder (MESI E; silent upgrade to M).
+  Modified,     ///< Dirty, sole holder (MSI/MESI M).
+};
+
 /// One cache instance.
 class Cache {
 public:
@@ -40,11 +50,15 @@ public:
     bool Valid = false;
     std::uint64_t LineAddr = 0;
     bool Dirty = false;
+    /// Protocol state the victim held (meaningful only under coherence).
+    LineState State = LineState::Shared;
   };
 
   /// Inserts \p LineAddr (marking it dirty for writes), evicting LRU if the
-  /// set is full.
-  Eviction insert(std::uint64_t LineAddr, bool IsWrite);
+  /// set is full. \p State is the protocol state granted to the line; the
+  /// coherence-free flows leave it at the default Shared and never read it.
+  Eviction insert(std::uint64_t LineAddr, bool IsWrite,
+                  LineState State = LineState::Shared);
 
   /// Drops the line if resident. \returns true if it was present.
   bool invalidate(std::uint64_t LineAddr);
@@ -53,6 +67,15 @@ public:
   /// when an upper-level writeback lands in this cache. \returns true if
   /// the line was resident.
   bool markDirty(std::uint64_t LineAddr);
+
+  /// Protocol state of \p LineAddr, or -1 when not resident. No LRU or
+  /// statistics side effects.
+  int stateOf(std::uint64_t LineAddr) const;
+
+  /// Sets the protocol state of \p LineAddr without touching LRU or
+  /// statistics (a remote downgrade/upgrade is not an access by this node).
+  /// \returns true if the line was resident.
+  bool setState(std::uint64_t LineAddr, LineState State);
 
   std::uint64_t hits() const { return Hits; }
   std::uint64_t misses() const { return Misses; }
@@ -69,6 +92,14 @@ public:
         Fn(W.Tag);
   }
 
+  /// Invokes \p Fn(LineAddr, LineState) for every resident line; the
+  /// protocol-state cross-check of the coherence invariants (src/check).
+  template <typename FnT> void forEachLineState(FnT Fn) const {
+    for (const Way &W : Sets)
+      if (W.Valid)
+        Fn(W.Tag, W.State);
+  }
+
   void reset();
 
 private:
@@ -77,6 +108,7 @@ private:
     std::uint64_t LastUse = 0;
     bool Valid = false;
     bool Dirty = false;
+    LineState State = LineState::Shared;
   };
 
   /// XOR-folded set index (index hashing, as in modern LLCs). A plain

@@ -35,11 +35,47 @@ public:
   /// \returns a node currently holding \p LineAddr, or -1 if none.
   int findSharer(std::uint64_t LineAddr) const;
 
+  /// \returns a node holding \p LineAddr other than \p Node, or -1 if none.
+  /// Under coherence a requester must never be forwarded to itself.
+  int findSharerExcept(std::uint64_t LineAddr, unsigned Node) const;
+
   /// Records that \p Node now holds the line.
   void addSharer(std::uint64_t LineAddr, unsigned Node);
 
   /// Records that \p Node dropped the line (e.g. L2 eviction).
   void removeSharer(std::uint64_t LineAddr, unsigned Node);
+
+  /// Full sharer bitmask of \p LineAddr (0 when untracked). Bit i = node i.
+  std::uint64_t sharerMask(std::uint64_t LineAddr) const;
+
+  /// Exclusive (E/M) owner of \p LineAddr, or -1 when the line has no
+  /// exclusive holder. Maintained only under coherence.
+  int exclusiveOwner(std::uint64_t LineAddr) const;
+
+  /// Marks \p Node the exclusive owner of \p LineAddr.
+  void setExclusive(std::uint64_t LineAddr, unsigned Node);
+
+  /// Drops any exclusive-owner record for \p LineAddr (downgrade to S).
+  void clearExclusive(std::uint64_t LineAddr);
+
+  /// True when the line has a tracked (possibly empty-mask) entry.
+  bool tracksLine(std::uint64_t LineAddr) const;
+
+  /// Erases every record of \p LineAddr (sparse-directory entry eviction).
+  /// Must not run inside forEachLine.
+  void eraseLine(std::uint64_t LineAddr);
+
+  /// Sparse mode: true when the directory already tracks \p Capacity lines,
+  /// so tracking a new one requires evicting an entry first.
+  bool atCapacity(std::uint64_t Capacity) const {
+    return Lines.size() >= Capacity;
+  }
+
+  /// Sparse mode: deterministic victim entry — the first tracked line at or
+  /// after a rotating cursor over the map's slot array. The cursor advances
+  /// on every pick so repeated evictions cycle through the table instead of
+  /// hammering one slot. \returns false when the directory is empty.
+  bool pickVictim(std::uint64_t *LineAddr);
 
   std::uint64_t trackedLines() const { return Lines.size(); }
 
@@ -64,6 +100,11 @@ public:
 private:
   unsigned NumNodes;
   FlatMap64 Lines;
+  /// Line -> exclusive owner node (coherence only). Kept out of the sharer
+  /// mask so the coherence-free flow pays nothing for it.
+  FlatMap64 Excl;
+  /// Rotating slot cursor for pickVictim.
+  std::size_t VictimCursor = 0;
   OwnerTag Ownership;
 };
 

@@ -42,6 +42,59 @@ RequestLedger::verify(std::uint64_t TotalAccesses) const {
   return Out;
 }
 
+std::vector<std::string> CoherenceLedger::verify() const {
+  std::vector<std::string> Out;
+  for (unsigned Node = 0; Node < InvSent.size(); ++Node)
+    if (InvSent[Node] != AckReceived[Node])
+      Out.push_back("node " + std::to_string(Node) + " was sent " +
+                    std::to_string(InvSent[Node]) +
+                    " invalidations but acked " +
+                    std::to_string(AckReceived[Node]) +
+                    " (an invalidated copy was not actually resident)");
+  return Out;
+}
+
+void offchip::checkCoherenceStates(const Directory &Dir,
+                                   const std::vector<Cache> &L2s,
+                                   std::vector<std::string> &Out) {
+  constexpr std::size_t MaxReports = 8;
+  std::size_t Mismatches = 0;
+  auto Report = [&](const std::string &Msg) {
+    if (Mismatches++ < MaxReports)
+      Out.push_back(Msg);
+  };
+  Dir.forEachLine([&](std::uint64_t Line, std::uint64_t Mask) {
+    int Owner = Dir.exclusiveOwner(Line);
+    if (Owner >= 0) {
+      if (Mask != (1ull << static_cast<unsigned>(Owner))) {
+        Report("line " + std::to_string(Line) + " has exclusive owner " +
+               std::to_string(Owner) + " but sharer mask " +
+               std::to_string(Mask));
+        return;
+      }
+      int St = L2s[static_cast<unsigned>(Owner)].stateOf(Line);
+      if (St != static_cast<int>(LineState::Exclusive) &&
+          St != static_cast<int>(LineState::Modified))
+        Report("line " + std::to_string(Line) + " owner " +
+               std::to_string(Owner) + " holds it in state " +
+               std::to_string(St) + ", not Exclusive/Modified");
+      return;
+    }
+    for (unsigned Node = 0; Node < L2s.size(); ++Node) {
+      if ((Mask & (1ull << Node)) == 0)
+        continue;
+      int St = L2s[Node].stateOf(Line);
+      if (St != static_cast<int>(LineState::Shared))
+        Report("line " + std::to_string(Line) + " has no exclusive owner " +
+               "but node " + std::to_string(Node) + " holds it in state " +
+               std::to_string(St));
+    }
+  });
+  if (Mismatches > MaxReports)
+    Out.push_back("... and " + std::to_string(Mismatches - MaxReports) +
+                  " more protocol-state mismatches");
+}
+
 void offchip::checkDirectoryAgainstL2s(const Directory &Dir,
                                        const std::vector<Cache> &L2s,
                                        std::vector<std::string> &Out) {

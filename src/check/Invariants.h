@@ -95,6 +95,37 @@ private:
   std::vector<Slot> Slots;
 };
 
+/// Invalidation/ack pairing ledger of the coherence protocol
+/// (MachineConfig::Coherence). The machine records one invSent when it
+/// injects an invalidation toward a node and one ackReceived when that
+/// node's copy was actually found and dropped — so a directory entry that
+/// names a node whose L2 never held the line shows up as an unacked
+/// invalidation. Single-threaded by construction: all coherence actions run
+/// in merged event order (serial loop or merger thread).
+class CoherenceLedger {
+public:
+  explicit CoherenceLedger(unsigned NumNodes)
+      : InvSent(NumNodes, 0), AckReceived(NumNodes, 0) {}
+
+  void invSent(unsigned Node) { ++InvSent[Node]; }
+  void ackReceived(unsigned Node) { ++AckReceived[Node]; }
+
+  /// \returns one message per node whose invalidations and acks disagree.
+  std::vector<std::string> verify() const;
+
+private:
+  std::vector<std::uint64_t> InvSent;
+  std::vector<std::uint64_t> AckReceived;
+};
+
+/// Cross-checks the directory's protocol bookkeeping against the L2 line
+/// states (MachineConfig::Coherence): a line with an exclusive owner must
+/// have exactly that owner as its only sharer and the owner's copy in state
+/// Exclusive or Modified; a line without one must have every holder's copy
+/// in state Shared. Appends one message per violation, capped.
+void checkCoherenceStates(const Directory &Dir, const std::vector<Cache> &L2s,
+                          std::vector<std::string> &Out);
+
 /// Cross-checks the directory's sharer sets against the private L2 contents
 /// in both directions: every recorded sharer must hold the line, and every
 /// resident L2 line must be tracked for that node. Only meaningful for

@@ -257,6 +257,20 @@ BenchSuite::BenchSuite(std::string IdText, std::string ClaimText,
               "coalesce runs of adjacent off-chip lines into wide DRAM "
               "transactions (default off; results stay bit-identical across "
               "--sim-threads)");
+  Parser.custom("--coherence", "<msi|mesi>",
+                [this](const std::string &V) {
+                  if (V != "msi" && V != "mesi")
+                    return false;
+                  CoherenceArg = V;
+                  return true;
+                },
+                "model an invalidation-based coherence protocol over the "
+                "private-L2 machine (default off; results stay bit-identical "
+                "across --sim-threads)");
+  Parser.value("--sparse-dir", &SparseDirSetting,
+               "bound the coherence directory to N tracked lines, evicting "
+               "by broadcast-invalidate (default 0 = unbounded; needs "
+               "--coherence)");
   Parser.flag("--trace", &TraceRequested,
               "record a per-request trace for every simulation (writes "
               "<prefix>.run<K>.trace.json and .series.csv; see --trace-out)");
@@ -329,6 +343,18 @@ std::optional<int> BenchSuite::parseArgs(int Argc, char **Argv) {
     Config.SimReplicaEpochs = SimReplicaEpochsSetting;
   if (BurstRequested)
     Config.Burst.Enabled = true;
+  if (!CoherenceArg.empty())
+    Config.Coherence.Protocol = CoherenceArg == "mesi"
+                                    ? MachineConfig::CoherenceProtocol::MESI
+                                    : MachineConfig::CoherenceProtocol::MSI;
+  if (SparseDirSetting != 0) {
+    if (!Config.Coherence.enabled()) {
+      std::fprintf(stderr, "error: --sparse-dir requires --coherence\n");
+      return 2;
+    }
+    Config.Coherence.SparseDirectory = true;
+    Config.Coherence.SparseEntries = SparseDirSetting;
+  }
   if (TraceRequested) {
     Config.Trace.Enabled = true;
     if (TraceSampleCycles != 0)

@@ -222,6 +222,8 @@ private:
   unsigned SimWindowBatchSetting = 0;   // 0 = keep the config's value
   unsigned SimReplicaEpochsSetting = 0; // 0 = keep the config's value
   bool BurstRequested = false;
+  std::string CoherenceArg;       // empty = keep the config's protocol
+  unsigned SparseDirSetting = 0;  // 0 = full directory (no sparse bound)
   bool TraceRequested = false;
   std::string TraceOutPrefix = "trace";
   unsigned TraceSampleCycles = 0;   // 0 = TraceConfig default

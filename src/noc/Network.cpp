@@ -86,7 +86,7 @@ std::uint64_t Network::LinkState::reserve(std::uint64_t From,
 }
 
 MessageResult Network::send(unsigned Src, unsigned Dst, unsigned Bytes,
-                            std::uint64_t Time) {
+                            std::uint64_t Time, MsgClass Cls) {
   if (Src == Dst)
     return {Time, 0, 0};
   using Clock = std::chrono::steady_clock;
@@ -142,6 +142,7 @@ MessageResult Network::send(unsigned Src, unsigned Dst, unsigned Bytes,
   // Tail flit trails the head by Flits - 1 cycles once pipelined.
   std::uint64_t Arrival = Cur + (Flits - 1);
   ++Messages;
+  ++ClassCount[static_cast<unsigned>(Cls)];
   if (TimeCalls) {
     TimedSeconds += std::chrono::duration<double>(Clock::now() - T0).count();
     ++TimedCalls;
@@ -166,6 +167,7 @@ void Network::reset() {
     L.clear();
   Messages = 0;
   LinkBusyCycles = 0;
+  ClassCount.fill(0);
   TimedSeconds = 0.0;
   TimedCalls = 0;
 }

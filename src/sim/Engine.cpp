@@ -64,6 +64,7 @@ void runSerialLoop(Machine &M, const MachineConfig &Config,
   using Clock = std::chrono::steady_clock;
   const bool Timing = Config.CollectPhaseTimes;
   const bool LocalL2 = M.localL2Eligible();
+  const bool Coherent = M.coherent();
 
   AccessRequest Req;
   while (!Queue.empty()) {
@@ -99,6 +100,20 @@ void runSerialLoop(Machine &M, const MachineConfig &Config,
     };
     if (Ledger)
       Ledger->issue(ThreadId, Packed);
+
+    // Coherent mode: every access runs through the protocol engine, which
+    // does its own L1/L2 probes (permission checks, not just presence), so
+    // the tile-local fast paths below are skipped entirely.
+    if (Coherent) {
+      if (Sink)
+        Sink->beginShared(T.Node, Packed);
+      std::uint64_t CohDone = M.accessCoherent(T.Node, Req.VA, Req.IsWrite,
+                                               Time, R);
+      if (Sink)
+        Sink->endShared();
+      Queue.push(NextKey(CohDone));
+      continue;
+    }
 
     std::uint64_t T1 = Time + Config.L1LatencyCycles;
     if (M.l1Probe(T.Node, Req.VA, Req.IsWrite)) {

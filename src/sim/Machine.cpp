@@ -8,6 +8,7 @@
 #include "trace/TraceSink.h"
 
 #include <algorithm>
+#include <bit>
 
 using namespace offchip;
 
@@ -18,7 +19,7 @@ Machine::Machine(const MachineConfig &Config, const ClusterMapping &Mapping,
       L2LineDiv(Config.L2LineBytes), NodeDiv(Config.numNodes()),
       Mapping(&Mapping), VM(&VM), Topology(Config.MeshX, Config.MeshY),
       Net(Topology, Config.Noc), MCNodes(Mapping.mcNodes()),
-      Dir(Config.numNodes()) {
+      Dir(Config.numNodes()), CohLedger(Config.numNodes()) {
   assert(MCNodes.size() == Config.NumMCs &&
          "mapping MC count must match the machine");
   if (Config.CollectPhaseTimes)
@@ -70,6 +71,8 @@ unsigned Machine::mcForPhys(std::uint64_t PA) const {
 
 std::uint64_t Machine::access(unsigned Node, std::uint64_t VA, bool IsWrite,
                               std::uint64_t Time, SimResult &R) {
+  if (coherent())
+    return accessCoherent(Node, VA, IsWrite, Time, R);
   std::uint64_t T = Time + Config.L1LatencyCycles;
   if (l1Probe(Node, VA, IsWrite)) {
     // The engine hands us accesses in ready-time order; everything this
@@ -486,6 +489,374 @@ std::uint64_t Machine::accessShared(unsigned Node, std::uint64_t PA,
   return T;
 }
 
+//===----------------------------------------------------------------------===//
+// Coherence protocol flow (MachineConfig::Coherence)
+//===----------------------------------------------------------------------===//
+
+std::uint64_t Machine::accessCoherent(unsigned Node, std::uint64_t VA,
+                                      bool IsWrite, std::uint64_t Time,
+                                      SimResult &R) {
+  assert(coherent() && !Config.SharedL2 &&
+         "coherence runs on the private-L2 flow only");
+  Net.advanceFloor(Time);
+  ++R.TotalAccesses;
+  std::uint64_t T = Time + Config.L1LatencyCycles;
+
+  // L1 probe. A write probe sets the dirty bit before write permission is
+  // confirmed — harmless and deterministic, because upgrades never fail:
+  // by the time this access completes the line is Modified.
+  bool L1Hit = l1Probe(Node, VA, IsWrite);
+  if (L1Hit && !IsWrite) {
+    if (Sink && Sink->sharedActive())
+      Sink->emitShared(TraceKind::L1Hit, Time, Config.L1LatencyCycles, VA,
+                       Node);
+    ++R.L1Hits;
+    R.AccessLatency.addSample(static_cast<double>(T - Time));
+    return T;
+  }
+
+  // Everything below needs the physical line. On the write-hit path the
+  // page is already mapped (the L1 fill translated it), so this never
+  // perturbs first-touch allocation order.
+  std::uint64_t PA = physFor(VA, Node);
+  std::uint64_t Line = L2LineDiv.div(PA);
+
+  if (L1Hit) {
+    // Write hit: permission comes from the node's own L2 state (inclusion
+    // holds — back-invalidation drops L1 chunks whenever the L2 line goes).
+    int St = L2s[Node].stateOf(Line);
+    if (St == static_cast<int>(LineState::Modified) ||
+        St == static_cast<int>(LineState::Exclusive)) {
+      if (St == static_cast<int>(LineState::Exclusive))
+        L2s[Node].setState(Line, LineState::Modified); // silent E->M (MESI)
+      L2s[Node].markDirty(Line);
+      if (Sink && Sink->sharedActive())
+        Sink->emitShared(TraceKind::L1Hit, Time, Config.L1LatencyCycles, VA,
+                         Node);
+      ++R.L1Hits;
+      R.AccessLatency.addSample(static_cast<double>(T - Time));
+      return T;
+    }
+    if (St == static_cast<int>(LineState::Shared)) {
+      // Upgrade: a directory round trip invalidating every other copy.
+      std::uint64_t Done = coherentUpgrade(Node, Line, T, R);
+      ++R.CoherenceUpgrades;
+      if (Sink && Sink->sharedActive())
+        Sink->emitShared(TraceKind::Complete, Time,
+                         static_cast<std::uint32_t>(Done - Time), VA, 0);
+      R.AccessLatency.addSample(static_cast<double>(Done - Time));
+      return Done;
+    }
+    assert(St >= 0 && "L1 hit on a line the node's L2 does not hold");
+    // Release fallback for broken inclusion: run the full miss flow below
+    // (the L2 probe misses and the line is refetched).
+  }
+
+  if (Sink && Sink->sharedActive())
+    Sink->emitShared(TraceKind::L1Miss, Time, Config.L1LatencyCycles, VA,
+                     Node);
+  std::uint64_t T2 = T + Config.L2LatencyCycles;
+  bool L2Hit = L2s[Node].access(Line, IsWrite);
+  if (Sink && Sink->sharedActive())
+    Sink->emitShared(L2Hit ? TraceKind::L2Hit : TraceKind::L2Miss, T,
+                     Config.L2LatencyCycles, PA, Node);
+  if (L2Hit) {
+    int St = L2s[Node].stateOf(Line);
+    if (!IsWrite || St != static_cast<int>(LineState::Shared)) {
+      if (IsWrite && St == static_cast<int>(LineState::Exclusive))
+        L2s[Node].setState(Line, LineState::Modified); // silent E->M (MESI)
+      ++R.LocalL2Hits;
+      fillL1(Node, VA, IsWrite, T2);
+      if (Sink && Sink->sharedActive()) {
+        Sink->emitShared(TraceKind::L1Fill, T2, 0, VA, 0);
+        Sink->emitShared(TraceKind::Complete, Time,
+                         static_cast<std::uint32_t>(T2 - Time), VA, 0);
+      }
+      R.AccessLatency.addSample(static_cast<double>(T2 - Time));
+      return T2;
+    }
+    // Write to a Shared copy in the own L2: upgrade.
+    std::uint64_t Done = coherentUpgrade(Node, Line, T2, R);
+    ++R.CoherenceUpgrades;
+    fillL1(Node, VA, IsWrite, Done);
+    if (Sink && Sink->sharedActive()) {
+      Sink->emitShared(TraceKind::L1Fill, Done, 0, VA, 0);
+      Sink->emitShared(TraceKind::Complete, Time,
+                       static_cast<std::uint32_t>(Done - Time), VA, 0);
+    }
+    R.AccessLatency.addSample(static_cast<double>(Done - Time));
+    return Done;
+  }
+
+  std::uint64_t Done = coherentMissTail(Node, PA, IsWrite, T2, R);
+  fillL1(Node, VA, IsWrite, Done);
+  if (Sink && Sink->sharedActive()) {
+    Sink->emitShared(TraceKind::L1Fill, Done, 0, VA, 0);
+    Sink->emitShared(TraceKind::Complete, Time,
+                     static_cast<std::uint32_t>(Done - Time), VA, 0);
+  }
+  R.AccessLatency.addSample(static_cast<double>(Done - Time));
+  return Done;
+}
+
+std::uint64_t Machine::coherentUpgrade(unsigned Node, std::uint64_t Line,
+                                       std::uint64_t T, SimResult &R) {
+  std::uint64_t LinePA = Line * Config.L2LineBytes;
+  unsigned MC = mcForPhys(LinePA);
+  unsigned DirNode = MCNodes[MC];
+  MessageResult Req =
+      Net.send(Node, DirNode, Config.RequestBytes, T, MsgClass::Request);
+  if (Sink && Sink->sharedActive())
+    Sink->emitShared(TraceKind::DirLookup, Req.ArrivalTime,
+                     Config.DirectoryLatencyCycles, LinePA, DirNode);
+  T = Req.ArrivalTime + Config.DirectoryLatencyCycles;
+  // The grant leaves only once every other copy is gone.
+  T = invalidateSharers(Line, Node, DirNode, T, R);
+  MessageResult Grant =
+      Net.send(DirNode, Node, Config.Coherence.AckBytes, T, MsgClass::Ack);
+  R.CohMsgHops.addSample(Req.Hops);
+  R.CohMsgHops.addSample(Grant.Hops);
+  L2s[Node].setState(Line, LineState::Modified);
+  L2s[Node].markDirty(Line);
+  Dir.setExclusive(Line, Node);
+  return Grant.ArrivalTime;
+}
+
+std::uint64_t Machine::invalidateSharers(std::uint64_t Line, unsigned Except,
+                                         unsigned DirNode, std::uint64_t T,
+                                         SimResult &R) {
+  std::uint64_t Mask = Dir.sharerMask(Line);
+  if (Except < 64)
+    Mask &= ~(1ull << Except);
+  std::uint64_t LinePA = Line * Config.L2LineBytes;
+  std::uint64_t Done = T;
+  while (Mask != 0) {
+    unsigned S = static_cast<unsigned>(std::countr_zero(Mask));
+    Mask &= Mask - 1;
+    MessageResult Inv = Net.send(DirNode, S, Config.Coherence.InvalidateBytes,
+                                 T, MsgClass::Invalidate);
+    if (Sink && Sink->sharedActive())
+      Sink->emitShared(TraceKind::Invalidate, Inv.ArrivalTime, 0, LinePA, S);
+    bool WasM =
+        L2s[S].stateOf(Line) == static_cast<int>(LineState::Modified);
+    CohLedger.invSent(S);
+    if (invalidateLineAt(S, Line))
+      CohLedger.ackReceived(S);
+    // A Modified holder's ack carries the dirty line home to its MC; clean
+    // copies ack with a header-sized message.
+    MessageResult Ack =
+        WasM ? Net.send(S, DirNode, Config.L2LineBytes, Inv.ArrivalTime,
+                        MsgClass::Writeback)
+             : Net.send(S, DirNode, Config.Coherence.AckBytes,
+                        Inv.ArrivalTime, MsgClass::Ack);
+    if (WasM) {
+      MCs[mcForPhys(LinePA)].writeback(LinePA, Ack.ArrivalTime);
+      ++R.CoherenceWritebacks;
+    }
+    if (Sink && Sink->sharedActive())
+      Sink->emitShared(TraceKind::InvAck, Ack.ArrivalTime, 0, LinePA, S);
+    ++R.Invalidations;
+    ++R.InvalidationAcks;
+    R.CohMsgHops.addSample(Inv.Hops);
+    R.CohMsgHops.addSample(Ack.Hops);
+    Dir.removeSharer(Line, S);
+    Done = std::max(Done, Ack.ArrivalTime);
+  }
+  int Owner = Dir.exclusiveOwner(Line);
+  if (Owner >= 0 && static_cast<unsigned>(Owner) != Except)
+    Dir.clearExclusive(Line);
+  return Done;
+}
+
+bool Machine::invalidateLineAt(unsigned Node, std::uint64_t Line) {
+  bool Held = L2s[Node].invalidate(Line);
+  backInvalidateL1(Node, Line);
+  return Held;
+}
+
+void Machine::backInvalidateL1(unsigned Node, std::uint64_t Line) {
+  std::uint64_t BasePA = Line * Config.L2LineBytes;
+  unsigned Chunks =
+      std::max(1u, Config.L2LineBytes / Config.L1LineBytes);
+  if (Config.Granularity == InterleaveGranularity::CacheLine) {
+    // VA == PA under cache-line interleaving.
+    for (unsigned K = 0; K < Chunks; ++K)
+      L1s[Node].invalidate(L1LineDiv.div(
+          BasePA + static_cast<std::uint64_t>(K) * Config.L1LineBytes));
+    return;
+  }
+  // Page interleaving: L1s are virtually indexed, so each chunk's physical
+  // address is reverse-translated (chunks can straddle pages when the page
+  // is smaller than an L2 line). An unmapped chunk cannot be L1-resident.
+  unsigned Shift = VM->pageShift();
+  std::uint64_t PageMask = Config.PageBytes - 1;
+  for (unsigned K = 0; K < Chunks; ++K) {
+    std::uint64_t PAk =
+        BasePA + static_cast<std::uint64_t>(K) * Config.L1LineBytes;
+    std::uint64_t VPN;
+    if (!VM->peekReverse(PAk >> Shift, &VPN))
+      continue;
+    L1s[Node].invalidate(L1LineDiv.div((VPN << Shift) | (PAk & PageMask)));
+  }
+}
+
+std::uint64_t Machine::coherentMissTail(unsigned Node, std::uint64_t PA,
+                                        bool IsWrite, std::uint64_t T,
+                                        SimResult &R) {
+  std::uint64_t Line = L2LineDiv.div(PA);
+  unsigned MC = mcForPhys(PA);
+  unsigned DirNode = MCNodes[MC];
+  const bool MESI =
+      Config.Coherence.Protocol == MachineConfig::CoherenceProtocol::MESI;
+
+  MessageResult Req =
+      Net.send(Node, DirNode, Config.RequestBytes, T, MsgClass::Request);
+  if (Sink && Sink->sharedActive())
+    Sink->emitShared(TraceKind::DirLookup, Req.ArrivalTime,
+                     Config.DirectoryLatencyCycles, PA, DirNode);
+  T = Req.ArrivalTime + Config.DirectoryLatencyCycles;
+  std::uint64_t DirT = T;
+
+  std::uint64_t Holders = Dir.sharerMask(Line);
+  assert((Holders & (1ull << Node)) == 0 &&
+         "the requester's L2 missed, so it cannot be a recorded holder");
+
+  if (Holders != 0) {
+    // Some L2 holds the line: serve on-chip with the same three-leg
+    // forward as the coherence-free flow, plus whatever protocol actions
+    // the request type requires.
+    unsigned Source = static_cast<unsigned>(std::countr_zero(Holders));
+    int Owner = Dir.exclusiveOwner(Line);
+    MessageResult Fwd =
+        Net.send(DirNode, Source, Config.RequestBytes, T, MsgClass::Request);
+    if (Sink && Sink->sharedActive())
+      Sink->emitShared(TraceKind::RemoteL2Hit, Fwd.ArrivalTime,
+                       Config.L2LatencyCycles, PA, Source);
+    T = Fwd.ArrivalTime + Config.L2LatencyCycles;
+    MessageResult Data =
+        Net.send(Source, Node, Config.L2LineBytes, T, MsgClass::Data);
+    T = Data.ArrivalTime;
+    ++R.RemoteL2Hits;
+    R.OnChipNetLatency.addSample(static_cast<double>(
+        Req.NetworkCycles + Fwd.NetworkCycles + Data.NetworkCycles));
+    R.OnChipMsgHops.addSample(Req.Hops);
+    R.OnChipMsgHops.addSample(Fwd.Hops);
+    R.OnChipMsgHops.addSample(Data.Hops);
+
+    if (IsWrite) {
+      // Write miss: the source's invalidation rides the forward (its dirty
+      // data — if any — transfers with the line, no DRAM writeback), every
+      // other holder is invalidated explicitly, and the write completes
+      // only after their acks.
+      invalidateLineAt(Source, Line);
+      Dir.removeSharer(Line, Source);
+      if (Owner >= 0)
+        Dir.clearExclusive(Line);
+      T = std::max(T, invalidateSharers(Line, Node, DirNode, DirT, R));
+      coherentL2Insert(Node, Line, true, LineState::Modified, T, R);
+      Dir.setExclusive(Line, Node);
+    } else if (Owner >= 0) {
+      // Read miss on an exclusively held line: the owner (== Source, its
+      // only holder) downgrades to Shared and notifies the directory — a
+      // dirty line rides the notify home (DRAM writeback), a clean one
+      // acks with a header.
+      bool WasM =
+          L2s[Source].stateOf(Line) == static_cast<int>(LineState::Modified);
+      L2s[Source].setState(Line, LineState::Shared);
+      ++R.Downgrades;
+      MessageResult Notify =
+          WasM ? Net.send(Source, DirNode, Config.L2LineBytes, T,
+                          MsgClass::Writeback)
+               : Net.send(Source, DirNode, Config.Coherence.AckBytes, T,
+                          MsgClass::Downgrade);
+      if (WasM) {
+        MCs[MC].writeback(Line * Config.L2LineBytes, Notify.ArrivalTime);
+        ++R.CoherenceWritebacks;
+      }
+      R.CohMsgHops.addSample(Notify.Hops);
+      if (Sink && Sink->sharedActive())
+        Sink->emitShared(TraceKind::Downgrade, Notify.ArrivalTime, 0, PA,
+                         Source);
+      Dir.clearExclusive(Line);
+      coherentL2Insert(Node, Line, false, LineState::Shared, T, R);
+    } else {
+      // Read miss with Shared holders: plain forward, no protocol traffic.
+      coherentL2Insert(Node, Line, false, LineState::Shared, T, R);
+    }
+    return T;
+  }
+
+  // No on-chip copy: off-chip access, identical in shape and accounting to
+  // the coherence-free two-leg DRAM path.
+  DramAccessResult Dram = MCs[MC].access(PA, T);
+  T = Dram.CompleteTime;
+  MessageResult Data =
+      Net.send(DirNode, Node, Config.L2LineBytes, T, MsgClass::Data);
+  T = Data.ArrivalTime;
+  ++R.OffChipAccesses;
+  R.OffChipNetLatency.addSample(
+      static_cast<double>(Req.NetworkCycles + Data.NetworkCycles));
+  R.OffNetLatencyHist.addSample((Req.NetworkCycles + Data.NetworkCycles) / 64);
+  R.MemLatency.addSample(
+      static_cast<double>(Dram.QueueCycles + Dram.ServiceCycles));
+  R.OffChipMsgHops.addSample(Req.Hops);
+  R.OffChipMsgHops.addSample(Data.Hops);
+  R.NodeToMCTraffic[static_cast<std::size_t>(Node) * Config.NumMCs + MC]++;
+
+  LineState St = LineState::Shared;
+  if (IsWrite) {
+    St = LineState::Modified;
+  } else if (MESI) {
+    // MESI: a read miss nobody else holds is granted Exclusive, so the
+    // node's eventual first write upgrades silently.
+    St = LineState::Exclusive;
+    ++R.ExclusiveGrants;
+  }
+  coherentL2Insert(Node, Line, IsWrite, St, T, R);
+  if (St != LineState::Shared)
+    Dir.setExclusive(Line, Node);
+  return T;
+}
+
+void Machine::coherentL2Insert(unsigned Node, std::uint64_t Line, bool IsWrite,
+                               LineState St, std::uint64_t T, SimResult &R) {
+  Cache::Eviction Ev = L2s[Node].insert(Line, IsWrite, St);
+  if (Ev.Valid) {
+    Dir.removeSharer(Ev.LineAddr, Node);
+    if (Dir.exclusiveOwner(Ev.LineAddr) == static_cast<int>(Node))
+      Dir.clearExclusive(Ev.LineAddr);
+    // Inclusion: the L1 must not outlive the L2 line that covers it.
+    backInvalidateL1(Node, Ev.LineAddr);
+    if (Ev.Dirty) {
+      std::uint64_t VictimPA = Ev.LineAddr * Config.L2LineBytes;
+      unsigned VictimMC = mcForPhys(VictimPA);
+      MessageResult WB = Net.send(Node, MCNodes[VictimMC], Config.L2LineBytes,
+                                  T, MsgClass::Writeback);
+      MCs[VictimMC].writeback(VictimPA, WB.ArrivalTime);
+    }
+  }
+  coherentTrack(Line, Node, T, R);
+}
+
+void Machine::coherentTrack(std::uint64_t Line, unsigned Node, std::uint64_t T,
+                            SimResult &R) {
+  if (Config.Coherence.SparseDirectory && !Dir.tracksLine(Line) &&
+      Dir.atCapacity(Config.Coherence.SparseEntries)) {
+    std::uint64_t Victim;
+    if (Dir.pickVictim(&Victim)) {
+      // Evict the victim entry by broadcast-invalidating every holder of
+      // its line. Fire-and-forget: the access being tracked does not wait
+      // on the acks (an opaque directory trades precision for area; the
+      // cost surfaces as the invalidation traffic itself).
+      unsigned VictimMC = mcForPhys(Victim * Config.L2LineBytes);
+      invalidateSharers(Victim, ~0u, MCNodes[VictimMC], T, R);
+      Dir.eraseLine(Victim);
+      ++R.DirEvictions;
+    }
+  }
+  Dir.addSharer(Line, Node);
+}
+
 std::vector<std::string> Machine::checkInvariants(const SimResult &R) const {
   std::vector<std::string> Out;
   auto Expect = [&Out](std::uint64_t Got, std::uint64_t Want,
@@ -495,8 +866,11 @@ std::vector<std::string> Machine::checkInvariants(const SimResult &R) const {
                     " != expected " + std::to_string(Want));
   };
 
-  // Every access lands in exactly one of the four classes.
-  Expect(R.L1Hits + R.LocalL2Hits + R.RemoteL2Hits + R.OffChipAccesses,
+  // Every access lands in exactly one class (under coherence a write to a
+  // Shared line is its own class: the upgrade; the counter is zero with
+  // the protocol off, so this is the pre-coherence identity there).
+  Expect(R.L1Hits + R.LocalL2Hits + R.RemoteL2Hits + R.OffChipAccesses +
+             R.CoherenceUpgrades,
          R.TotalAccesses, "access classes must partition TotalAccesses");
 
   // Each class samples its latency accumulators a fixed number of times.
@@ -542,6 +916,57 @@ std::vector<std::string> Machine::checkInvariants(const SimResult &R) const {
   if (!Config.SharedL2)
     checkDirectoryAgainstL2s(Dir, L2s, Out);
 
+  if (Config.Coherence.enabled()) {
+    Expect(R.InvalidationAcks, R.Invalidations,
+           "every invalidation pairs with exactly one ack");
+    Expect(R.CohMsgHops.total(),
+           2 * R.CoherenceUpgrades + 2 * R.Invalidations + R.Downgrades,
+           "coherence hop samples: two per upgrade (request, grant), two "
+           "per inv/ack pair, one per downgrade notify");
+    if (R.CoherenceWritebacks > R.Invalidations + R.Downgrades)
+      Out.push_back("more coherence writebacks (" +
+                    std::to_string(R.CoherenceWritebacks) +
+                    ") than invalidations plus downgrades (" +
+                    std::to_string(R.Invalidations + R.Downgrades) + ")");
+    if (Config.Coherence.Protocol == MachineConfig::CoherenceProtocol::MSI)
+      Expect(R.ExclusiveGrants, 0, "MSI never grants Exclusive");
+    if (!Config.Coherence.SparseDirectory)
+      Expect(R.DirEvictions, 0,
+             "an unbounded directory never evicts entries");
+    for (const std::string &Msg : CohLedger.verify())
+      Out.push_back(Msg);
+    checkCoherenceStates(Dir, L2s, Out);
+
+    // L1 inclusion: every L1-resident line's covering L2 line must still
+    // be resident in the same node's L2 (back-invalidation maintains it —
+    // write permission is derived from the L2 state, so a stale L1 line
+    // would dodge the protocol entirely).
+    std::size_t InclusionBreaks = 0;
+    for (unsigned Node = 0; Node < L1s.size(); ++Node) {
+      L1s[Node].forEachLine([&](std::uint64_t L1Line) {
+        std::uint64_t LVA = L1Line * Config.L1LineBytes;
+        std::uint64_t LPA = LVA;
+        if (Config.Granularity != InterleaveGranularity::CacheLine &&
+            !VM->peekTranslate(LVA, &LPA))
+          return;
+        if (!L2s[Node].contains(L2LineDiv.div(LPA)) &&
+            InclusionBreaks++ < 8)
+          Out.push_back("node " + std::to_string(Node) + " L1 holds line " +
+                        std::to_string(L1Line) +
+                        " whose covering L2 line is not resident "
+                        "(inclusion violated)");
+      });
+    }
+    if (InclusionBreaks > 8)
+      Out.push_back("... and " + std::to_string(InclusionBreaks - 8) +
+                    " more inclusion violations");
+  } else {
+    Expect(R.CoherenceUpgrades + R.Invalidations + R.InvalidationAcks +
+               R.Downgrades + R.CoherenceWritebacks + R.ExclusiveGrants +
+               R.DirEvictions + R.CohMsgHops.total(),
+           0, "coherence counters must stay zero with the protocol off");
+  }
+
   if (R.RedirectedPages > R.AllocatedPages)
     Out.push_back("more pages redirected (" +
                   std::to_string(R.RedirectedPages) + ") than allocated (" +
@@ -572,6 +997,7 @@ void Machine::finalize(SimResult &R, std::uint64_t Now) const {
                  : static_cast<double>(Hits) / static_cast<double>(Total);
   R.RedirectedPages = VM->redirectedPages();
   R.AllocatedPages = VM->allocatedPages();
+  R.LinkBusyCycles = Net.totalLinkBusyCycles();
 
   R.Phases.Enabled = Config.CollectPhaseTimes;
   if (Config.CollectPhaseTimes) {

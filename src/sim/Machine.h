@@ -26,6 +26,7 @@
 
 #include "cache/Cache.h"
 #include "cache/Directory.h"
+#include "check/Invariants.h"
 #include "core/ClusterMapping.h"
 #include "dram/MemoryController.h"
 #include "noc/Network.h"
@@ -54,6 +55,21 @@ public:
   /// \p R. \returns the completion cycle.
   std::uint64_t access(unsigned Node, std::uint64_t VA, bool IsWrite,
                        std::uint64_t Time, SimResult &R);
+
+  /// True when a coherence protocol is configured
+  /// (MachineConfig::Coherence). Every access then goes through
+  /// accessCoherent on the merged-order thread; the split worker-side
+  /// pieces below are never used (protocol state is global).
+  bool coherent() const { return Config.Coherence.enabled(); }
+
+  /// Simulates one access under the configured MSI/MESI protocol
+  /// (coherent() must hold; private L2s only). Handles the full flow —
+  /// L1, own L2 with protocol permission, directory, invalidations,
+  /// downgrades, DRAM — and \returns the completion cycle. Must run in
+  /// exact serial event order (the serial loop, or the parallel engine's
+  /// merger): it touches directory and network state on every access.
+  std::uint64_t accessCoherent(unsigned Node, std::uint64_t VA, bool IsWrite,
+                               std::uint64_t Time, SimResult &R);
 
   //===--------------------------------------------------------------------===//
   // Split access pieces (the parallel engine's worker/merger boundary)
@@ -237,6 +253,51 @@ private:
   std::uint64_t accessShared(unsigned Node, std::uint64_t PA, bool IsWrite,
                              std::uint64_t Time, SimResult &R);
 
+  //===--------------------------------------------------------------------===//
+  // Coherence protocol pieces (accessCoherent; merged-order thread only)
+  //===--------------------------------------------------------------------===//
+
+  /// Coherent flow past an L1 + own-L2 miss: directory lookup, then remote
+  /// forward (with write-invalidation or read-downgrade of other copies) or
+  /// DRAM, then the coherent L2 fill. \p T is the time the request leaves
+  /// the node (L1 + L2 latency already charged).
+  std::uint64_t coherentMissTail(unsigned Node, std::uint64_t PA,
+                                 bool IsWrite, std::uint64_t T, SimResult &R);
+
+  /// Write-to-Shared upgrade: request to the directory, invalidation of
+  /// every other holder, grant back once all acks are in. Leaves the line
+  /// Modified with \p Node its exclusive owner. \returns the grant arrival.
+  std::uint64_t coherentUpgrade(unsigned Node, std::uint64_t Line,
+                                std::uint64_t T, SimResult &R);
+
+  /// Sends an invalidation to every holder of \p Line except \p Except
+  /// (pass >= 64 for none) and collects their acks; a Modified holder's ack
+  /// carries the dirty line back to its MC. Messages inject at \p T.
+  /// \returns the latest ack arrival (or \p T with no holders).
+  std::uint64_t invalidateSharers(std::uint64_t Line, unsigned Except,
+                                  unsigned DirNode, std::uint64_t T,
+                                  SimResult &R);
+
+  /// Drops \p Line from node's L2 and back-invalidates the L1 chunks it
+  /// covers. \returns true when the L2 actually held the line.
+  bool invalidateLineAt(unsigned Node, std::uint64_t Line);
+
+  /// L1 half of invalidateLineAt (L1s are virtually indexed, so each chunk's
+  /// physical address is reverse-translated under page interleaving).
+  void backInvalidateL1(unsigned Node, std::uint64_t Line);
+
+  /// Fills node's L2 with \p Line in protocol state \p St, handling the
+  /// victim coherently (directory removal, L1 back-invalidation, dirty
+  /// writeback) and recording \p Node as a sharer — evicting a sparse
+  /// directory entry by broadcast-invalidate first when at capacity.
+  void coherentL2Insert(unsigned Node, std::uint64_t Line, bool IsWrite,
+                        LineState St, std::uint64_t T, SimResult &R);
+
+  /// The directory-tracking half of coherentL2Insert (sparse eviction +
+  /// addSharer), also used when no L2 fill is needed.
+  void coherentTrack(std::uint64_t Line, unsigned Node, std::uint64_t T,
+                     SimResult &R);
+
   MachineConfig Config;
   /// Shift/mask decode of the per-access address arithmetic (generic div
   /// fallback for non-power-of-two configurations).
@@ -254,6 +315,8 @@ private:
   std::vector<Cache> L1s;
   std::vector<Cache> L2s; // private slices or shared banks
   Directory Dir;          // private-L2 sharer tracking
+  /// Invalidation/ack pairing (coherent mode; see src/check).
+  CoherenceLedger CohLedger;
   TraceSink *Sink = nullptr;
   /// Nearest MC per node (optimal scheme, first-touch preference).
   std::vector<unsigned> NearestMCOfNode;

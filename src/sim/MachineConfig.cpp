@@ -198,6 +198,32 @@ std::vector<ConfigDiagnostic> MachineConfig::validate() const {
           "the ordinary access path)",
           "use the default 8-line cap");
   }
+  // Coherence: the protocol rides the private-L2 directory flow, so the
+  // SNUCA machine has no state for it to govern, and the burst coalescer's
+  // ridealong fills are not coherence-aware yet.
+  if (Coherence.enabled()) {
+    if (SharedL2)
+      Bad("SharedL2", 1,
+          "coherence protocols model the private-L2 directory flow; the "
+          "shared (SNUCA) L2 has no per-node copies to keep coherent",
+          "use private L2s or drop --coherence");
+    if (Burst.Enabled)
+      Bad("Burst.Enabled", 1,
+          "burst coalescing's ridealong fills are not coherence-aware",
+          "disable one of --coherence and --burst-coalesce");
+    if (Coherence.SparseDirectory && Coherence.SparseEntries < 1)
+      Bad("Coherence.SparseEntries", Coherence.SparseEntries,
+          "a sparse directory must track at least one line",
+          "use the default 4096 entries");
+    if (Coherence.AckBytes < 1)
+      Bad("Coherence.AckBytes", Coherence.AckBytes,
+          "ack messages must carry at least one byte",
+          "use the default 8-byte ack");
+    if (Coherence.InvalidateBytes < 1)
+      Bad("Coherence.InvalidateBytes", Coherence.InvalidateBytes,
+          "invalidation messages must carry at least one byte",
+          "use the default 8-byte invalidate");
+  }
   if (Dram.Timing.BurstBeatCycles < 1)
     Bad("Dram.Timing.BurstBeatCycles", Dram.Timing.BurstBeatCycles,
         "must be >= 1 (each extra line of a burst occupies the bank)",
@@ -225,9 +251,18 @@ std::vector<ConfigDiagnostic> MachineConfig::validate() const {
 }
 
 std::string MachineConfig::summary() const {
+  // The coherence clause appears only when a protocol is selected so every
+  // pre-coherence report stays byte-identical.
+  std::string Coh;
+  if (Coherence.enabled()) {
+    Coh = Coherence.Protocol == CoherenceProtocol::MSI ? ", MSI coherence"
+                                                       : ", MESI coherence";
+    if (Coherence.SparseDirectory)
+      Coh += formatString(" (sparse dir, %u entries)", Coherence.SparseEntries);
+  }
   return formatString(
       "%ux%u mesh, %u MCs (%s), %s L2 (%llu KB/node, %uB lines), "
-      "L1 %llu KB, %s interleaving, %u thread(s)/core%s",
+      "L1 %llu KB, %s interleaving, %u thread(s)/core%s%s",
       MeshX, MeshY, NumMCs,
       Placement == MCPlacementKind::Corners          ? "corners"
       : Placement == MCPlacementKind::EdgeMidpoints  ? "edge midpoints"
@@ -236,5 +271,5 @@ std::string MachineConfig::summary() const {
       static_cast<unsigned long long>(L2SizeBytes / 1024), L2LineBytes,
       static_cast<unsigned long long>(L1SizeBytes / 1024),
       Granularity == InterleaveGranularity::CacheLine ? "cache-line" : "page",
-      ThreadsPerCore, OptimalScheme ? ", OPTIMAL scheme" : "");
+      ThreadsPerCore, OptimalScheme ? ", OPTIMAL scheme" : "", Coh.c_str());
 }

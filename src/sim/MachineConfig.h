@@ -19,6 +19,7 @@
 #include "trace/TraceEvent.h"
 #include "vm/VirtualMemory.h"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,39 @@ struct MachineConfig {
   /// The optimal scheme of Section 2: every off-chip request is served by
   /// the nearest MC with no network contention and no bank queueing.
   bool OptimalScheme = false;
+
+  /// Coherence protocol modeled on the private-L2 flow. None (the default)
+  /// reproduces the paper's coherence-free Figure-2 machine exactly — every
+  /// pre-coherence golden stays byte-identical.
+  enum class CoherenceProtocol : std::uint8_t { None = 0, MSI, MESI };
+
+  /// Coherence as a first-class scenario (--coherence msi|mesi). When a
+  /// protocol is selected, L2 lines carry MSI (or MESI) states, writes to
+  /// Shared lines pay a directory upgrade round trip, and invalidation /
+  /// downgrade / ack messages travel as real flits over the mesh link
+  /// calendars — so coherence traffic contends with data traffic, the
+  /// question the paper left open. Only meaningful for private-L2 machines
+  /// (the SNUCA flow has no directory); validate() rejects SharedL2 and
+  /// burst-coalescing combinations. Results stay bit-identical across
+  /// --sim-threads values: with coherence on, every access ships through
+  /// the merger mailboxes and is applied in exact serial key order.
+  struct CoherenceConfig {
+    CoherenceProtocol Protocol = CoherenceProtocol::None;
+    /// Bounded (sparse) directory: the directory tracks at most
+    /// SparseEntries lines; tracking a new line at capacity evicts a victim
+    /// entry by broadcast-invalidating every holder of its line.
+    bool SparseDirectory = false;
+    /// Tracked-line capacity under SparseDirectory.
+    unsigned SparseEntries = 4096;
+    /// Payload bytes of an invalidation-ack / upgrade-grant / clean
+    /// downgrade-notify message.
+    unsigned AckBytes = 8;
+    /// Payload bytes of an invalidation or downgrade request message.
+    unsigned InvalidateBytes = 8;
+
+    bool enabled() const { return Protocol != CoherenceProtocol::None; }
+  };
+  CoherenceConfig Coherence;
 
   /// Burst coalescing at the memory-controller boundary (off by default so
   /// every golden byte-identity run is untouched). When enabled, an

@@ -86,6 +86,24 @@ bool offchip::equalResults(const SimResult &A, const SimResult &B,
     return Fail("BurstLines");
   if (A.PerMCLines != B.PerMCLines)
     return Fail("PerMCLines");
+  if (A.CoherenceUpgrades != B.CoherenceUpgrades)
+    return Fail("CoherenceUpgrades");
+  if (A.Invalidations != B.Invalidations)
+    return Fail("Invalidations");
+  if (A.InvalidationAcks != B.InvalidationAcks)
+    return Fail("InvalidationAcks");
+  if (A.Downgrades != B.Downgrades)
+    return Fail("Downgrades");
+  if (A.CoherenceWritebacks != B.CoherenceWritebacks)
+    return Fail("CoherenceWritebacks");
+  if (A.ExclusiveGrants != B.ExclusiveGrants)
+    return Fail("ExclusiveGrants");
+  if (A.DirEvictions != B.DirEvictions)
+    return Fail("DirEvictions");
+  if (!sameHistogram(A.CohMsgHops, B.CohMsgHops))
+    return Fail("CohMsgHops");
+  if (A.LinkBusyCycles != B.LinkBusyCycles)
+    return Fail("LinkBusyCycles");
   // SimResult::Engine and SimResult::Phases are deliberately not compared:
   // they describe how the host executed the run (merger publishes, replica
   // hits, wall-clock), not what was simulated.

@@ -99,6 +99,34 @@ struct SimResult {
   /// Conservation: sum == OffChipAccesses - BurstTransactions + BurstLines.
   std::vector<std::uint64_t> PerMCLines;
 
+  // Coherence protocol (MachineConfig::Coherence; all zero when it is off).
+  // Under coherence the access classes partition differently:
+  //   L1Hits + LocalL2Hits + RemoteL2Hits + OffChipAccesses +
+  //   CoherenceUpgrades == TotalAccesses.
+  /// Writes that hit a Shared line and paid a directory upgrade round trip.
+  std::uint64_t CoherenceUpgrades = 0;
+  /// Invalidation messages sent to sharers (each pairs with exactly one
+  /// ack: Invalidations == InvalidationAcks always).
+  std::uint64_t Invalidations = 0;
+  std::uint64_t InvalidationAcks = 0;
+  /// Exclusive/Modified lines demoted to Shared by a remote read.
+  std::uint64_t Downgrades = 0;
+  /// Dirty lines written back to DRAM by an invalidation or downgrade.
+  std::uint64_t CoherenceWritebacks = 0;
+  /// MESI only: read misses granted Exclusive because no one held the line.
+  std::uint64_t ExclusiveGrants = 0;
+  /// Sparse directory: tracked entries evicted by broadcast-invalidate.
+  std::uint64_t DirEvictions = 0;
+  /// Hop counts of coherence messages (upgrade req/grant, inv, ack,
+  /// downgrade notify). Identity: total() == 2 * CoherenceUpgrades +
+  /// 2 * Invalidations + Downgrades.
+  IntHistogram CohMsgHops;
+
+  /// Sum over links of cycles each link was reserved
+  /// (Network::totalLinkBusyCycles); the link-utilization numerator of the
+  /// EXPERIMENTS coherence table. Deterministic, so compared exactly.
+  std::uint64_t LinkBusyCycles = 0;
+
   /// Host-execution diagnostics of the parallel engine (all zero for the
   /// serial engine). Like PhaseTimes these describe how the run executed,
   /// not what it simulated, so they are excluded from equalResults() and

@@ -257,11 +257,12 @@ public:
               TraceSink *Sink, RequestLedger *Ledger)
       : M(M), Config(Config), Threads(Threads), ThreadShift(ThreadShift),
         ThreadMask((1ull << ThreadShift) - 1), LocalL2(M.localL2Eligible()),
-        Timing(Config.CollectPhaseTimes), Sink(Sink), Ledger(Ledger),
+        Coherent(M.coherent()), Timing(Config.CollectPhaseTimes), Sink(Sink),
+        Ledger(Ledger),
         Batch(Config.SimWindowBatch < 1 ? 1 : Config.SimWindowBatch),
         ReplicaOn(Config.SimReplicaEpochs > 0 && !Config.SharedL2 &&
                   Config.Granularity == InterleaveGranularity::Page &&
-                  Sink == nullptr),
+                  Sink == nullptr && !M.coherent()),
         PageShift(log2Floor(Config.PageBytes)),
         PageMask(Config.PageBytes - 1), LB(Config.numNodes()),
         OwnerOf(Config.numNodes(), nullptr) {}
@@ -484,6 +485,16 @@ private:
           if (Ledger)
             Ledger->issue(Tid, Key);
 
+          // Coherent mode: every access is a protocol transaction against
+          // shared directory state (even an L1 hit needs a permission
+          // check that may upgrade through the directory), so the
+          // tile-local fast paths below are skipped and every access
+          // ships. Bit-identity across --sim-threads then holds
+          // trivially: the merger applies accessCoherent in exact serial
+          // key order.
+          std::uint64_t EvPA = 0;
+          bool EvProbed = false;
+          if (!Coherent) {
           std::uint64_t T1 = Time + Config.L1LatencyCycles;
           if (M.l1Probe(T.Node, Req.VA, Req.IsWrite)) {
             if (Sink)
@@ -532,8 +543,6 @@ private:
           // LRU/dirty/stat update, L1 insert, dirty-victim L2 writeback
           // (victim translated from the replica; see the file comment for
           // why it must be there), counters and the latency sample.
-          std::uint64_t EvPA = 0;
-          bool EvProbed = false;
           if (ReplicaOn && replicaFresh(W) &&
               replicaTranslate(W, Req.VA, &EvPA)) {
             std::uint64_t T2 = T1 + Config.L2LatencyCycles;
@@ -562,6 +571,7 @@ private:
             // merger repeats neither the translation nor the probe.
             EvProbed = true;
           }
+          } // !Coherent
 
           // Off-tile: buffer for the merger and stall the node. Publish
           // the bound before buffering so the merger can never see the
@@ -680,7 +690,9 @@ private:
         // at this point of the key order, and the SPSC resume's release
         // push carries any lookahead-buffer growth back to the worker.
         std::uint64_t Done;
-        if (P.L2Probed)
+        if (Coherent)
+          Done = M.accessCoherent(T.Node, P.VA, P.IsWrite, Time, R);
+        else if (P.L2Probed)
           Done = M.missAfterL1Probed(T.Node, P.VA, P.PA, P.IsWrite, Time, R,
                                      &T.Stream);
         else if (LocalL2)
@@ -740,6 +752,8 @@ private:
   unsigned ThreadShift;
   std::uint64_t ThreadMask;
   bool LocalL2;
+  /// Coherence protocol on: workers ship every access (no fast paths).
+  bool Coherent;
   bool Timing;
   TraceSink *Sink;
   RequestLedger *Ledger;

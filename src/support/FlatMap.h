@@ -64,8 +64,10 @@ public:
   /// \returns the value slot for \p Key, inserting a zero value when absent.
   std::uint64_t &refOrInsert(std::uint64_t Key) {
     assert(Key != EmptyKey && "the all-ones key is reserved");
-    if ((Count + 1) * 10 >= Slots.size() * 7)
+    if ((Count + 1) * 10 >= Slots.size() * 7) {
+      assert(Iterating == 0 && "rehash during forEach would corrupt the walk");
       grow();
+    }
     for (std::size_t I = homeOf(Key);; I = nextSlot(I)) {
       Slot &S = Slots[I];
       if (S.Key == Key)
@@ -80,8 +82,14 @@ public:
   }
 
   /// Removes \p Key. \returns true when it was present.
+  ///
+  /// Must not be called from inside forEach: backward-shift compaction moves
+  /// surviving entries to earlier slots, so a concurrent slot walk would
+  /// skip some entries and visit others twice. Collect keys first, then
+  /// erase after the walk (debug builds assert on violation).
   bool erase(std::uint64_t Key) {
     assert(Key != EmptyKey && "the all-ones key is reserved");
+    assert(Iterating == 0 && "erase during forEach would corrupt the walk");
     std::size_t I = homeOf(Key);
     for (;; I = nextSlot(I)) {
       if (Slots[I].Key == Key)
@@ -126,11 +134,40 @@ public:
     Count = 0;
   }
 
-  /// Invokes \p Fn(Key, Value) for every entry (unspecified order).
+  /// Invokes \p Fn(Key, Value) for every entry (unspecified order). \p Fn
+  /// must not erase from or insert into this map (debug builds assert);
+  /// collect keys during the walk and mutate afterwards.
   template <typename FnT> void forEach(FnT Fn) const {
+#ifndef NDEBUG
+    ++Iterating;
+#endif
     for (const Slot &S : Slots)
       if (S.Key != EmptyKey)
         Fn(S.Key, S.Value);
+#ifndef NDEBUG
+    --Iterating;
+#endif
+  }
+
+  /// Finds the first occupied slot at or after *\p Cursor (slot index,
+  /// wrapping once past the end), stores its key into *\p Key, and advances
+  /// *\p Cursor past that slot. Deterministic for a given insertion history,
+  /// which is what the sparse directory's victim rotation needs. \returns
+  /// false when the map is empty.
+  bool nextKey(std::size_t *Cursor, std::uint64_t *Key) const {
+    if (Count == 0)
+      return false;
+    std::size_t Cap = Slots.size();
+    std::size_t Start = *Cursor % Cap;
+    for (std::size_t Off = 0; Off < Cap; ++Off) {
+      std::size_t I = (Start + Off) & (Cap - 1);
+      if (Slots[I].Key != EmptyKey) {
+        *Key = Slots[I].Key;
+        *Cursor = I + 1;
+        return true;
+      }
+    }
+    return false;
   }
 
 private:
@@ -169,6 +206,10 @@ private:
   std::vector<Slot> Slots;
   std::size_t Count = 0;
   unsigned ShiftBits = 60; // 64 - log2(capacity)
+#ifndef NDEBUG
+  /// Depth of active forEach walks; erase/rehash assert it is zero.
+  mutable int Iterating = 0;
+#endif
 };
 
 } // namespace offchip

@@ -26,11 +26,14 @@ inline std::int64_t floorDiv(std::int64_t A, std::int64_t B) {
   return Q;
 }
 
-/// \returns A mod B with the result in [0, |B|). Pairs with floorDiv so that
-/// A == floorDiv(A, B) * B + floorMod(A, B).
+/// \returns A mod B with the sign of B (floored modulo): in [0, B) for
+/// positive B — the only case the layout code uses — and in (B, 0] for
+/// negative B. Pairs with floorDiv so that
+/// A == floorDiv(A, B) * B + floorMod(A, B) for every nonzero B.
 inline std::int64_t floorMod(std::int64_t A, std::int64_t B) {
   std::int64_t R = A - floorDiv(A, B) * B;
-  assert(R >= 0 && "floorMod result must be non-negative");
+  assert((B > 0 ? R >= 0 && R < B : R <= 0 && R > B) &&
+         "floorMod result must lie between 0 and B");
   return R;
 }
 

@@ -38,6 +38,12 @@ const char *kindName(TraceKind K) {
     return "burst";
   case TraceKind::WindowDrain:
     return "window-drain";
+  case TraceKind::Invalidate:
+    return "invalidate";
+  case TraceKind::Downgrade:
+    return "downgrade";
+  case TraceKind::InvAck:
+    return "inv-ack";
   }
   return "?";
 }

@@ -55,6 +55,13 @@ enum class TraceKind : std::uint8_t {
                   ///< execution, so it exists only at --sim-threads >= 2
                   ///< and would break the cross-engine byte-identity of
                   ///< default traces.
+  Invalidate,     ///< Coherence invalidation delivered to a holder
+                  ///< (appended last, keeping prior values stable);
+                  ///< Aux = invalidated node, Addr = line PA.
+  Downgrade,      ///< Exclusive/Modified holder demoted to Shared by a
+                  ///< remote read; Aux = downgraded node, Addr = line PA.
+  InvAck,         ///< Invalidation ack received at the directory; Aux =
+                  ///< acking node, Addr = line PA.
 };
 
 /// Fixed-size binary event record (see the file comment for the ordering

@@ -87,6 +87,10 @@ std::uint64_t VirtualMemory::translate(std::uint64_t VA,
     }
     PPN = static_cast<std::int64_t>(allocatePhysPage(Preferred));
     PageTable[VPN] = PPN;
+    if (static_cast<std::uint64_t>(PPN) >= ReverseMap.size())
+      ReverseMap.resize(static_cast<std::uint64_t>(PPN) + 1, -1);
+    ReverseMap[static_cast<std::uint64_t>(PPN)] =
+        static_cast<std::int64_t>(VPN);
   }
   return (static_cast<std::uint64_t>(PPN) << PageShift) + Offset;
 }

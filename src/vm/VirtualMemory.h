@@ -80,6 +80,19 @@ public:
     return true;
   }
 
+  /// Reverse translation: the VPN mapped to physical page \p PPN, or false
+  /// when no virtual page maps there. Translation is injective (each PPN is
+  /// handed out once), so the answer is unique. The coherence flow uses it
+  /// to back-invalidate L1 lines, which are indexed by virtual address.
+  bool peekReverse(std::uint64_t PPN, std::uint64_t *VPN) const {
+    if (PPN >= ReverseMap.size() || ReverseMap[PPN] < 0)
+      return false;
+    *VPN = static_cast<std::uint64_t>(ReverseMap[PPN]);
+    return true;
+  }
+
+  unsigned pageShift() const { return PageShift; }
+
   /// MC owning physical address \p PA under page interleaving.
   unsigned mcOfPhysAddr(std::uint64_t PA) const {
     return static_cast<unsigned>(MCDiv.mod(PA >> PageShift));
@@ -109,6 +122,8 @@ private:
   /// VPN -> PPN, -1 when unmapped. Flat vectors keep translate() off the
   /// hash path: it runs once per simulated access.
   std::vector<std::int64_t> PageTable;
+  /// PPN -> VPN, -1 when unmapped; filled as pages are allocated.
+  std::vector<std::int64_t> ReverseMap;
   /// VPN -> desired MC, -1 when unhinted.
   std::vector<std::int8_t> Hints;
   /// Next free local page index per MC.

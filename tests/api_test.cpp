@@ -51,11 +51,11 @@ TEST(ContentHash, StableAcrossProcesses) {
   // The cache key of a canonical request is part of the wire contract: if
   // this value drifts, every deployed cache goes cold and the protocol's
   // "key" field changes meaning. Update only with a protocol bump (last:
-  // the burst-coalescing knobs joined the hashed config surface).
+  // the coherence knobs joined the hashed config surface).
   SimRequest R;
   R.Kind = RequestKind::Simulate;
   R.Workload.App = "swim";
-  EXPECT_EQ(requestKey(R).str(), "c97d3cc121e38f4556765e5b8a4d3c06");
+  EXPECT_EQ(requestKey(R).str(), "12f8c3c794d7a349169f5dc159b745c4");
 }
 
 TEST(ContentHash, IdAndExecutionKnobsExcluded) {
@@ -96,6 +96,21 @@ TEST(ContentHash, ResultAffectingFieldsIncluded) {
 
   R = Base;
   R.Config.PagePolicy = PageAllocPolicy::FirstTouch;
+  EXPECT_NE(requestKey(R), K);
+
+  R = Base;
+  R.Config.Coherence.Protocol = MachineConfig::CoherenceProtocol::MSI;
+  EXPECT_NE(requestKey(R), K);
+  CacheKey Msi = requestKey(R);
+  R.Config.Coherence.Protocol = MachineConfig::CoherenceProtocol::MESI;
+  EXPECT_NE(requestKey(R), Msi);
+
+  R = Base;
+  R.Config.Coherence.SparseDirectory = true;
+  EXPECT_NE(requestKey(R), K);
+
+  R = Base;
+  R.Config.Coherence.SparseEntries *= 2;
   EXPECT_NE(requestKey(R), K);
 }
 
@@ -195,6 +210,11 @@ TEST(Serialize, MachineConfigFullRoundtrip) {
   C.Placement = MCPlacementKind::EdgeMidpoints;
   C.Dram.Timing.RowMissCycles = 123;
   C.OptimalScheme = true;
+  C.Coherence.Protocol = MachineConfig::CoherenceProtocol::MESI;
+  C.Coherence.SparseDirectory = true;
+  C.Coherence.SparseEntries = 512;
+  C.Coherence.AckBytes = 16;
+  C.Coherence.InvalidateBytes = 12;
 
   MachineConfig Back = MachineConfig::scaledDefault();
   std::string Err;

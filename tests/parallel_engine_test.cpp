@@ -70,6 +70,16 @@ void expectIdentical(const SimResult &A, const SimResult &B) {
   EXPECT_EQ(A.BurstTransactions, B.BurstTransactions);
   EXPECT_EQ(A.BurstLines, B.BurstLines);
   EXPECT_EQ(A.PerMCLines, B.PerMCLines);
+
+  EXPECT_EQ(A.CoherenceUpgrades, B.CoherenceUpgrades);
+  EXPECT_EQ(A.Invalidations, B.Invalidations);
+  EXPECT_EQ(A.InvalidationAcks, B.InvalidationAcks);
+  EXPECT_EQ(A.Downgrades, B.Downgrades);
+  EXPECT_EQ(A.CoherenceWritebacks, B.CoherenceWritebacks);
+  EXPECT_EQ(A.ExclusiveGrants, B.ExclusiveGrants);
+  EXPECT_EQ(A.DirEvictions, B.DirEvictions);
+  ExpectHistEq(A.CohMsgHops, B.CohMsgHops, "CohMsgHops");
+  EXPECT_EQ(A.LinkBusyCycles, B.LinkBusyCycles);
 }
 
 /// Runs \p App on \p Config serially and at 2/3/8 sim threads and checks

@@ -24,6 +24,17 @@ TEST(MathUtil, FloorModIsAlwaysNonNegative) {
   EXPECT_EQ(floorMod(-9, 3), 0);
 }
 
+// Floored modulo takes the sign of the modulus; this is what makes the
+// floorDiv/floorMod identity hold for negative B too. (The old assert
+// demanded a non-negative result unconditionally, which fired in Debug
+// builds on any negative modulus — release builds never ran it.)
+TEST(MathUtil, FloorModTakesSignOfModulus) {
+  EXPECT_EQ(floorMod(7, -3), -2);
+  EXPECT_EQ(floorMod(-7, -3), -1);
+  EXPECT_EQ(floorMod(1, -7), -6);
+  EXPECT_EQ(floorMod(-6, -3), 0);
+}
+
 TEST(MathUtil, FloorDivModIdentity) {
   for (std::int64_t A = -20; A <= 20; ++A)
     for (std::int64_t B : {-7, -3, -1, 1, 2, 5})

@@ -143,6 +143,10 @@ T pick(SplitMix64 &R, const T (&Choices)[N]) {
   return Choices[R.nextBelow(N)];
 }
 
+/// --coherence: every trial draws MSI or MESI (and drops the incompatible
+/// shared-L2/burst axes), concentrating the whole budget on protocol paths.
+bool ForceCoherence = false;
+
 MachineConfig randomConfig(SplitMix64 &R) {
   MachineConfig C = MachineConfig::scaledDefault();
   // Meshes beyond powers of two force the generic division path through the
@@ -224,6 +228,30 @@ MachineConfig randomConfig(SplitMix64 &R) {
   static const unsigned MaxLines[] = {2, 4, 8};
   C.Burst.WindowAccesses = pick(R, Windows);
   C.Burst.MaxLines = pick(R, MaxLines);
+
+  // Coherence: MSI/MESI protocol traffic over the private-L2 machine, with
+  // an optional bounded (sparse) directory. Incompatible with the shared L2
+  // and with burst coalescing (validate rejects both combinations), so
+  // those draws force the protocol off instead of skewing the rejection
+  // sampling below.
+  switch (ForceCoherence ? 1 + R.nextBelow(2) : R.nextBelow(4)) {
+  case 1:
+    C.Coherence.Protocol = MachineConfig::CoherenceProtocol::MSI;
+    break;
+  case 2:
+    C.Coherence.Protocol = MachineConfig::CoherenceProtocol::MESI;
+    break;
+  default:
+    break;
+  }
+  C.Coherence.SparseDirectory = R.nextBelow(2) == 0;
+  C.Coherence.SparseEntries = 16u << R.nextBelow(6);
+  if (ForceCoherence) {
+    C.SharedL2 = false;
+    C.Burst.Enabled = false;
+  }
+  if (C.SharedL2 || C.Burst.Enabled)
+    C.Coherence.Protocol = MachineConfig::CoherenceProtocol::None;
 
   // Parallel-engine knobs: chunked mailbox publishes and shard-local
   // translation replicas amortize merger round trips but must never move a
@@ -319,6 +347,18 @@ std::string renderConfigCode(const MachineConfig &C) {
          (C.Burst.Enabled ? "true" : "false") + ";\n";
   Out += "  C.Burst.WindowAccesses = " + U(C.Burst.WindowAccesses) + ";\n";
   Out += "  C.Burst.MaxLines = " + U(C.Burst.MaxLines) + ";\n";
+  Out += std::string("  C.Coherence.Protocol = "
+                     "MachineConfig::CoherenceProtocol::") +
+         (C.Coherence.Protocol == MachineConfig::CoherenceProtocol::None
+              ? "None"
+              : C.Coherence.Protocol == MachineConfig::CoherenceProtocol::MSI
+                    ? "MSI"
+                    : "MESI") +
+         ";\n";
+  Out += std::string("  C.Coherence.SparseDirectory = ") +
+         (C.Coherence.SparseDirectory ? "true" : "false") + ";\n";
+  Out += "  C.Coherence.SparseEntries = " + U(C.Coherence.SparseEntries) +
+         ";\n";
   Out += "  C.SimWindowBatch = " + U(C.SimWindowBatch) + ";\n";
   Out += "  C.SimReplicaEpochs = " + U(C.SimReplicaEpochs) + ";\n";
   Out += "  C.CheckInvariants = true;\n";
@@ -483,6 +523,18 @@ TrialSpec shrink(TrialSpec S, TrialOutcome &Witness) {
       TryConfig([](MachineConfig &C) { C.OptimalScheme = false; });
     if (S.Config.Burst.Enabled)
       TryConfig([](MachineConfig &C) { C.Burst.Enabled = false; });
+    if (S.Config.Coherence.enabled())
+      TryConfig([](MachineConfig &C) {
+        C.Coherence.Protocol = MachineConfig::CoherenceProtocol::None;
+      });
+    if (S.Config.Coherence.Protocol == MachineConfig::CoherenceProtocol::MESI)
+      TryConfig([](MachineConfig &C) {
+        C.Coherence.Protocol = MachineConfig::CoherenceProtocol::MSI;
+      });
+    if (S.Config.Coherence.SparseDirectory)
+      TryConfig([](MachineConfig &C) {
+        C.Coherence.SparseDirectory = false;
+      });
     if (S.Config.Granularity != InterleaveGranularity::CacheLine)
       TryConfig([](MachineConfig &C) {
         C.Granularity = InterleaveGranularity::CacheLine;
@@ -599,6 +651,9 @@ int main(int Argc, char **Argv) {
   Options.value("--repro-out", &ReproPath,
                 "pending-repro file path (default offchip-fuzz-repro.txt)");
   Options.flag("--verbose", &Verbose, "print every trial's configuration");
+  Options.flag("--coherence", &ForceCoherence,
+               "draw a coherence protocol (MSI or MESI) on every trial, "
+               "dropping the incompatible shared-L2/burst axes");
 
   std::string Err;
   bool WantedHelp = false;

@@ -94,6 +94,31 @@ int main(int Argc, char **Argv) {
   Options.flag("--burst-coalesce", &Config.Burst.Enabled,
                "coalesce runs of adjacent off-chip lines into wide DRAM "
                "transactions (default off)");
+  Options.custom("--coherence", "<msi|mesi>",
+                 [&](const std::string &V) {
+                   if (V == "msi")
+                     Config.Coherence.Protocol =
+                         MachineConfig::CoherenceProtocol::MSI;
+                   else if (V == "mesi")
+                     Config.Coherence.Protocol =
+                         MachineConfig::CoherenceProtocol::MESI;
+                   else
+                     return false;
+                   return true;
+                 },
+                 "model an invalidation-based coherence protocol "
+                 "(default off)");
+  Options.custom("--sparse-dir", "<N>",
+                 [&](const std::string &V) {
+                   unsigned N = 0;
+                   if (std::sscanf(V.c_str(), "%u", &N) != 1 || N == 0)
+                     return false;
+                   Config.Coherence.SparseDirectory = true;
+                   Config.Coherence.SparseEntries = N;
+                   return true;
+                 },
+                 "bound the coherence directory to N tracked lines "
+                 "(default unbounded; needs --coherence)");
   Options.flag("--csv", &Csv, "print simulation results as CSV");
   Options.flag("--trace", &Trace,
                "with --simulate, write per-request traces "
@@ -117,6 +142,10 @@ int main(int Argc, char **Argv) {
   }
   if (Page)
     Config.Granularity = InterleaveGranularity::Page;
+  if (Config.Coherence.SparseDirectory && !Config.Coherence.enabled()) {
+    std::fprintf(stderr, "error: --sparse-dir requires --coherence\n");
+    return 2;
+  }
   if (Options.positional().size() > 1 ||
       (!Demo && Options.positional().empty())) {
     std::fprintf(stderr, "error: expected one <program.txt>\n%s",
