@@ -20,8 +20,7 @@ using namespace offchip;
 int main() {
   MachineConfig Config = MachineConfig::scaledDefault();
   Mesh M(Config.MeshX, Config.MeshY);
-  std::vector<unsigned> MCNodes =
-      placeMemoryControllers(M, Config.NumMCs, Config.Placement);
+  std::vector<unsigned> MCNodes = Config.placedMCNodes();
 
   // Validation: not any L2-to-MC mapping is legal (Section 4).
   std::string Err;

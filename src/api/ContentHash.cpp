@@ -119,6 +119,14 @@ CacheKey offchip::requestKey(const SimRequest &R) {
   H.u64(0x44, C.Coherence.SparseEntries);
   H.u64(0x45, C.Coherence.AckBytes);
   H.u64(0x46, C.Coherence.InvalidateBytes);
+  // Explicit placement node list: length-prefixed so {1},{2} and {1,2} can
+  // never collide. Hashed unconditionally (an empty list hashes as length
+  // 0) — adding these tags bumped the pinned protocol hash in api_test.cpp
+  // exactly once, instead of changing it again the first time a list is
+  // actually set.
+  H.u64(0x47, C.MCNodes.size());
+  for (unsigned N : C.MCNodes)
+    H.u64(0x48, N);
 
   return H.key();
 }

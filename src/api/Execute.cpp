@@ -56,6 +56,17 @@ SimResponse offchip::executeRequest(const SimRequest &R, unsigned Jobs) {
     Resp.Diagnostics = std::move(Diags);
     return Resp;
   }
+  // Grouped (M2-style) mappings additionally assume each contiguous MC
+  // group is spatially tight; an Explicit placement can violate that
+  // silently, so it gets a structured rejection rather than a quietly
+  // pessimized mapping.
+  if (std::vector<ConfigDiagnostic> Diags =
+          R.Config.validateGrouping(R.MCsPerCluster);
+      !Diags.empty()) {
+    Resp.Status = ResponseStatus::Error;
+    Resp.Diagnostics = std::move(Diags);
+    return Resp;
+  }
 
   // Resolve the workload. Registry apps carry their modeled compute gap;
   // inline programs use the machine default (gap 0 = fall back to

@@ -97,6 +97,23 @@ bool readU64Array(const JsonValue &Obj, const std::string &Key,
   return true;
 }
 
+bool readU32Array(const JsonValue &Obj, const std::string &Key,
+                  std::vector<unsigned> *Out, std::string *Err) {
+  const JsonValue *V = Obj.find(Key);
+  if (!V || !V->isArray())
+    return keyError(Err, Key, "expected an array of numbers");
+  Out->clear();
+  for (std::size_t I = 0; I < V->size(); ++I) {
+    if (!V->at(I).isNumber())
+      return keyError(Err, Key, "expected an array of numbers");
+    std::uint64_t N = V->at(I).asU64();
+    if (N > 0xFFFFFFFFull)
+      return keyError(Err, Key, "array element exceeds 32 bits");
+    Out->push_back(static_cast<unsigned>(N));
+  }
+  return true;
+}
+
 bool readF64Array(const JsonValue &Obj, const std::string &Key,
                   std::vector<double> *Out, std::string *Err) {
   const JsonValue *V = Obj.find(Key);
@@ -167,29 +184,9 @@ bool histogramFromJson(const JsonValue &Obj, const std::string &Key,
 // Enum spellings
 //===----------------------------------------------------------------------===//
 
-const char *placementName(MCPlacementKind K) {
-  switch (K) {
-  case MCPlacementKind::Corners:
-    return "corners";
-  case MCPlacementKind::EdgeMidpoints:
-    return "edge_midpoints";
-  case MCPlacementKind::TopBottomSpread:
-    return "top_bottom_spread";
-  }
-  return "corners";
-}
-
-bool placementFromName(const std::string &S, MCPlacementKind *Out) {
-  if (S == "corners")
-    *Out = MCPlacementKind::Corners;
-  else if (S == "edge_midpoints")
-    *Out = MCPlacementKind::EdgeMidpoints;
-  else if (S == "top_bottom_spread")
-    *Out = MCPlacementKind::TopBottomSpread;
-  else
-    return false;
-  return true;
-}
+// Placement spellings live with the enum (noc/Mesh.h: mcPlacementName /
+// mcPlacementFromName) so the CLI flags and this wire layer can never
+// drift apart.
 
 const char *granularityName(InterleaveGranularity G) {
   return G == InterleaveGranularity::CacheLine ? "line" : "page";
@@ -288,7 +285,15 @@ JsonValue offchip::toJson(const MachineConfig &C) {
   O.set("noc_per_hop_cycles", JsonValue::number(C.Noc.PerHopCycles));
   O.set("noc_link_bytes", JsonValue::number(C.Noc.LinkBytes));
   O.set("num_mcs", JsonValue::number(C.NumMCs));
-  O.set("placement", JsonValue::string(placementName(C.Placement)));
+  O.set("placement", JsonValue::string(mcPlacementName(C.Placement)));
+  // Only an Explicit placement has a node list to carry; every other kind
+  // keeps the pre-Explicit wire layout byte-for-byte.
+  if (C.Placement == MCPlacementKind::Explicit) {
+    JsonValue Nodes = JsonValue::array();
+    for (unsigned N : C.MCNodes)
+      Nodes.push(JsonValue::number(N));
+    O.set("mc_nodes", std::move(Nodes));
+  }
   O.set("dram_banks", JsonValue::number(C.Dram.Banks));
   O.set("dram_row_buffer_bytes", JsonValue::number(C.Dram.RowBufferBytes));
   O.set("dram_frfcfs_window_rows",
@@ -366,11 +371,13 @@ bool offchip::machineConfigFromJson(const JsonValue &V, MachineConfig *C,
     else if (Key == "placement") {
       std::string S;
       Ok = readString(V, Key, &S, Err) &&
-           (placementFromName(S, &C->Placement) ||
+           (mcPlacementFromName(S, &C->Placement) ||
             keyError(Err, Key,
-                     "expected corners, edge_midpoints or "
-                     "top_bottom_spread"));
-    } else if (Key == "dram_banks")
+                     (std::string("expected one of: ") + mcPlacementNames())
+                         .c_str()));
+    } else if (Key == "mc_nodes")
+      Ok = readU32Array(V, Key, &C->MCNodes, Err);
+    else if (Key == "dram_banks")
       Ok = readU32(V, Key, &C->Dram.Banks, Err);
     else if (Key == "dram_row_buffer_bytes")
       Ok = readU32(V, Key, &C->Dram.RowBufferBytes, Err);

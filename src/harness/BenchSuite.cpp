@@ -271,6 +271,28 @@ BenchSuite::BenchSuite(std::string IdText, std::string ClaimText,
                "bound the coherence directory to N tracked lines, evicting "
                "by broadcast-invalidate (default 0 = unbounded; needs "
                "--coherence)");
+  Parser.custom("--placement", "<kind>",
+                [this](const std::string &V) {
+                  if (std::optional<ConfigDiagnostic> D =
+                          parsePlacementOption(V, &Config.Placement)) {
+                    FlagDiags.push_back(std::move(*D));
+                    return false;
+                  }
+                  return true;
+                },
+                std::string("MC placement kind: ") + mcPlacementNames());
+  Parser.custom("--mc-nodes", "<n0,n1,...>",
+                [this](const std::string &V) {
+                  if (std::optional<ConfigDiagnostic> D =
+                          parseMCNodeListOption(V, &Config.MCNodes)) {
+                    FlagDiags.push_back(std::move(*D));
+                    return false;
+                  }
+                  Config.Placement = MCPlacementKind::Explicit;
+                  return true;
+                },
+                "explicit MC node ids, one per MC in interleave order "
+                "(implies --placement explicit)");
   Parser.flag("--trace", &TraceRequested,
               "record a per-request trace for every simulation (writes "
               "<prefix>.run<K>.trace.json and .series.csv; see --trace-out)");
@@ -301,6 +323,12 @@ std::optional<int> BenchSuite::parseArgs(int Argc, char **Argv) {
     if (WantedHelp) {
       std::fputs(Err.c_str(), stdout);
       return 0;
+    }
+    // A structured flag diagnostic (bad --placement/--mc-nodes) beats the
+    // generic bad-value message.
+    if (!FlagDiags.empty()) {
+      std::fprintf(stderr, "%s\n", renderDiagnostics(FlagDiags).c_str());
+      return 2;
     }
     std::fprintf(stderr, "error: %s\n%s", Err.c_str(),
                  Parser.helpText().c_str());

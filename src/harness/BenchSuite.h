@@ -231,6 +231,9 @@ private:
   unsigned TraceRunCounter = 0;
   bool CsvRequested = false;
   bool JsonRequested = false;
+  /// Structured diagnostics recorded by the --placement/--mc-nodes parse
+  /// lambdas; parseArgs prefers them over the generic bad-value error.
+  std::vector<ConfigDiagnostic> FlagDiags;
   std::string AppsArg;
   bool AppsGiven = false;
   std::vector<std::string> AppFilter;

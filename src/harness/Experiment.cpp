@@ -33,8 +33,7 @@ void offchip::defaultClusterGrid(unsigned MeshX, unsigned MeshY,
 
 ClusterMapping offchip::makeM1Mapping(const MachineConfig &Config) {
   Mesh M(Config.MeshX, Config.MeshY);
-  std::vector<unsigned> MCNodes =
-      placeMemoryControllers(M, Config.NumMCs, Config.Placement);
+  std::vector<unsigned> MCNodes = Config.placedMCNodes();
   unsigned CX, CY;
   defaultClusterGrid(Config.MeshX, Config.MeshY, Config.NumMCs, CX, CY);
   return ClusterMapping::makeLocalityMapping(M, std::move(MCNodes), CX, CY,
@@ -44,8 +43,7 @@ ClusterMapping offchip::makeM1Mapping(const MachineConfig &Config) {
 ClusterMapping offchip::makeM2Mapping(const MachineConfig &Config,
                                       unsigned MCsPerCluster) {
   Mesh M(Config.MeshX, Config.MeshY);
-  std::vector<unsigned> MCNodes =
-      placeMemoryControllers(M, Config.NumMCs, Config.Placement);
+  std::vector<unsigned> MCNodes = Config.placedMCNodes();
   // Keep the M1 cluster geometry (Figure 8b keeps four 4x4 clusters) but
   // assign each cluster a group of MCsPerCluster controllers.
   unsigned CX, CY;

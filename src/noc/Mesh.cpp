@@ -44,6 +44,36 @@ unsigned sliceCenter(unsigned I, unsigned Count, unsigned Extent) {
 
 } // namespace
 
+const char *offchip::mcPlacementName(MCPlacementKind Kind) {
+  switch (Kind) {
+  case MCPlacementKind::Corners:
+    return "corners";
+  case MCPlacementKind::EdgeMidpoints:
+    return "edge_midpoints";
+  case MCPlacementKind::TopBottomSpread:
+    return "top_bottom_spread";
+  case MCPlacementKind::Explicit:
+    return "explicit";
+  }
+  OFFCHIP_UNREACHABLE("unknown MC placement kind");
+}
+
+bool offchip::mcPlacementFromName(const std::string &Name,
+                                  MCPlacementKind *Kind) {
+  for (MCPlacementKind K :
+       {MCPlacementKind::Corners, MCPlacementKind::EdgeMidpoints,
+        MCPlacementKind::TopBottomSpread, MCPlacementKind::Explicit})
+    if (Name == mcPlacementName(K)) {
+      *Kind = K;
+      return true;
+    }
+  return false;
+}
+
+const char *offchip::mcPlacementNames() {
+  return "corners, edge_midpoints, top_bottom_spread, explicit";
+}
+
 std::vector<unsigned>
 offchip::placeMemoryControllers(const Mesh &M, unsigned NumMCs,
                                 MCPlacementKind Kind) {
@@ -57,23 +87,26 @@ offchip::placeMemoryControllers(const Mesh &M, unsigned NumMCs,
       // {2,3} are the top and bottom MC pairs (used by mapping M2).
       Nodes = {M.nodeId({0, 0}), M.nodeId({X - 1, 0}), M.nodeId({0, Y - 1}),
                M.nodeId({X - 1, Y - 1})};
-      return Nodes;
+      break;
     }
-    // Larger counts (Figure 27): NumMCs/2 spread along the top edge and
-    // NumMCs/2 along the bottom edge, corners included. A single MC per
-    // edge sits at the corner (the I*(X-1)/(Half-1) spread needs two or
-    // more anchor points).
+    // Other counts (Figure 27): NumMCs/2 spread along the top edge and
+    // NumMCs/2 along the bottom edge, corners included. With one MC per
+    // edge the I*(X-1)/(Half-1) spread has no second anchor point; the two
+    // MCs take opposite corners ((0,0) and (X-1,Y-1)) so a 2-MC machine
+    // still spans the whole chip instead of stacking both in column 0.
     if (NumMCs % 2 != 0 || NumMCs / 2 > X)
       reportFatalError("unsupported MC count for Corners placement");
     unsigned Half = NumMCs / 2;
-    auto CornerSpread = [&](unsigned I) {
-      return Half == 1 ? 0 : I * (X - 1) / (Half - 1);
+    auto CornerSpread = [&](unsigned I, bool BottomEdge) {
+      if (Half == 1)
+        return BottomEdge ? X - 1 : 0;
+      return I * (X - 1) / (Half - 1);
     };
     for (unsigned I = 0; I < Half; ++I)
-      Nodes.push_back(M.nodeId({CornerSpread(I), 0}));
+      Nodes.push_back(M.nodeId({CornerSpread(I, false), 0}));
     for (unsigned I = 0; I < Half; ++I)
-      Nodes.push_back(M.nodeId({CornerSpread(I), Y - 1}));
-    return Nodes;
+      Nodes.push_back(M.nodeId({CornerSpread(I, true), Y - 1}));
+    break;
   }
   case MCPlacementKind::EdgeMidpoints: {
     if (NumMCs != 4)
@@ -81,10 +114,12 @@ offchip::placeMemoryControllers(const Mesh &M, unsigned NumMCs,
     if (X < 2 || Y < 2)
       reportFatalError("EdgeMidpoints placement needs a mesh of at least 2x2");
     // Same top/bottom group structure as Corners: MC0/MC1 on the top half
-    // (top edge middle, left edge middle), MC2/MC3 on the bottom half.
-    Nodes = {M.nodeId({X / 2 - 1, 0}), M.nodeId({X - 1, Y / 2 - 1}),
+    // (top edge middle, right edge middle), MC2/MC3 on the bottom half.
+    // (X-1)/2 rather than X/2-1: identical on even meshes, but on an odd
+    // mesh it is the true center column/row instead of one step off it.
+    Nodes = {M.nodeId({(X - 1) / 2, 0}), M.nodeId({X - 1, (Y - 1) / 2}),
              M.nodeId({0, Y / 2}), M.nodeId({X / 2, Y - 1})};
-    return Nodes;
+    break;
   }
   case MCPlacementKind::TopBottomSpread: {
     if (NumMCs % 2 != 0 || NumMCs / 2 > X)
@@ -94,10 +129,20 @@ offchip::placeMemoryControllers(const Mesh &M, unsigned NumMCs,
       Nodes.push_back(M.nodeId({sliceCenter(I, Half, X), 0}));
     for (unsigned I = 0; I < Half; ++I)
       Nodes.push_back(M.nodeId({sliceCenter(I, Half, X), Y - 1}));
-    return Nodes;
+    break;
   }
+  case MCPlacementKind::Explicit:
+    reportFatalError("Explicit placement carries its own node list; use "
+                     "MachineConfig::placedMCNodes()");
   }
-  OFFCHIP_UNREACHABLE("unknown MC placement kind");
+  // Hard guard on every generated list: two MCs on one node would silently
+  // alias their interleave residues' traffic, corrupting any placement
+  // comparison downstream.
+  for (std::size_t I = 0; I < Nodes.size(); ++I)
+    for (std::size_t J = I + 1; J < Nodes.size(); ++J)
+      if (Nodes[I] == Nodes[J])
+        reportFatalError("MC placement generated duplicate nodes");
+  return Nodes;
 }
 
 unsigned offchip::nearestMC(const Mesh &M,

@@ -12,6 +12,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace offchip {
@@ -67,11 +68,30 @@ enum class MCPlacementKind {
   EdgeMidpoints,
   /// Figure 26b / P3: spread along the top and bottom edges.
   TopBottomSpread,
+  /// An arbitrary caller-supplied node list (MachineConfig::MCNodes); the
+  /// search substrate of tools/placement-opt. Has no generator here — ask
+  /// MachineConfig::placedMCNodes() for the nodes.
+  Explicit,
 };
+
+/// Canonical lower-case spelling of \p Kind ("corners", "edge_midpoints",
+/// "top_bottom_spread", "explicit") — shared by the CLI flags and the JSON
+/// wire layer so the two can never drift apart.
+const char *mcPlacementName(MCPlacementKind Kind);
+
+/// Parses a canonical spelling back into a kind. \returns false (leaving
+/// \p Kind untouched) on any other string.
+bool mcPlacementFromName(const std::string &Name, MCPlacementKind *Kind);
+
+/// Comma-joined list of every valid spelling, for diagnostics.
+const char *mcPlacementNames();
 
 /// \returns the node ids hosting the \p NumMCs memory controllers under
 /// \p Kind. MC index i is attached to the i-th returned node; the hardware
-/// interleaving maps address chunk residue i to MC i.
+/// interleaving maps address chunk residue i to MC i. Explicit has no
+/// generator and is a fatal error here; every returned list is guaranteed
+/// duplicate-free (a colliding placement would silently alias two MCs'
+/// traffic onto one node).
 std::vector<unsigned> placeMemoryControllers(const Mesh &M, unsigned NumMCs,
                                              MCPlacementKind Kind);
 

@@ -5,6 +5,8 @@
 #include "support/Format.h"
 #include "support/MathUtil.h"
 
+#include <algorithm>
+
 using namespace offchip;
 
 std::string ConfigDiagnostic::str() const {
@@ -58,6 +60,19 @@ bool clusterGridExists(unsigned MeshX, unsigned MeshY, unsigned NumGroups) {
     if (NumGroups % X == 0 && MeshX % X == 0 && MeshY % (NumGroups / X) == 0)
       return true;
   return false;
+}
+
+/// "0,7,56,63" — the diagnostic-friendly rendering of an MC node list.
+std::string nodeListText(const std::vector<unsigned> &Nodes) {
+  if (Nodes.empty())
+    return "(empty)";
+  std::string Out;
+  for (unsigned N : Nodes) {
+    if (!Out.empty())
+      Out += ",";
+    Out += formatString("%u", N);
+  }
+  return Out;
 }
 
 } // namespace
@@ -174,7 +189,42 @@ std::vector<ConfigDiagnostic> MachineConfig::validate() const {
             "horizontal edge",
             "use an even MC count no larger than 2 * MeshX");
       break;
+    case MCPlacementKind::Explicit: {
+      auto BadNodes = [&](std::string Constraint, std::string Fix) {
+        Diags.push_back({"MCNodes", nodeListText(MCNodes),
+                         std::move(Constraint), std::move(Fix)});
+      };
+      if (MCNodes.size() != NumMCs)
+        BadNodes(formatString("explicit placement must list exactly NumMCs "
+                              "= %u node(s), got %zu",
+                              NumMCs, MCNodes.size()),
+                 "pass one node id per MC, e.g. --mc-nodes 0,7,56,63");
+      if (MeshX >= 2 && MeshY >= 2)
+        for (unsigned N : MCNodes)
+          if (N >= numNodes()) {
+            BadNodes(formatString("every node id must be < MeshX*MeshY = %u",
+                                  numNodes()),
+                     "list only on-mesh node ids");
+            break;
+          }
+      bool Duplicated = false;
+      for (std::size_t I = 0; I < MCNodes.size() && !Duplicated; ++I)
+        for (std::size_t J = I + 1; J < MCNodes.size() && !Duplicated; ++J)
+          Duplicated = MCNodes[I] == MCNodes[J];
+      if (Duplicated)
+        BadNodes("node ids must be distinct (a colliding placement would "
+                 "alias two MCs' traffic onto one node)",
+                 "drop the duplicated node id");
+      break;
     }
+    }
+    if (Placement != MCPlacementKind::Explicit && !MCNodes.empty())
+      Diags.push_back(
+          {"MCNodes", nodeListText(MCNodes),
+           formatString("an explicit node list is only honored under the "
+                        "explicit placement kind (this config says %s)",
+                        mcPlacementName(Placement)),
+           "add --placement explicit or drop the node list"});
     if (MeshX >= 1 && MeshY >= 1 &&
         !clusterGridExists(MeshX, MeshY, NumMCs))
       Bad("NumMCs", NumMCs,
@@ -250,6 +300,117 @@ std::vector<ConfigDiagnostic> MachineConfig::validate() const {
   return Diags;
 }
 
+std::vector<ConfigDiagnostic>
+MachineConfig::validateGrouping(unsigned MCsPerCluster) const {
+  std::vector<ConfigDiagnostic> Diags;
+  // The built-in placements order MCs so consecutive indices share an edge
+  // region ({0,1} top / {2,3} bottom and the Figure-27 generalizations) —
+  // group-compatible by construction. Ungrouped mappings (K <= 1) have no
+  // assumption to violate.
+  if (MCsPerCluster <= 1 || Placement != MCPlacementKind::Explicit)
+    return Diags;
+  // Count/divisibility/bounds violations are validate()'s and the mapping
+  // builders' to report; only judge well-formed lists here.
+  if (NumMCs == 0 || NumMCs % MCsPerCluster != 0 ||
+      MCNodes.size() != NumMCs || MeshX < 2 || MeshY < 2)
+    return Diags;
+  for (unsigned N : MCNodes)
+    if (N >= numNodes())
+      return Diags;
+  unsigned Groups = NumMCs / MCsPerCluster;
+  if (Groups < 2)
+    return Diags; // a single group trivially spans the whole placement
+  Mesh M(MeshX, MeshY);
+  unsigned GlobalSpread = 0;
+  for (std::size_t I = 0; I < MCNodes.size(); ++I)
+    for (std::size_t J = I + 1; J < MCNodes.size(); ++J)
+      GlobalSpread =
+          std::max(GlobalSpread, M.manhattan(MCNodes[I], MCNodes[J]));
+  for (unsigned G = 0; G < Groups; ++G) {
+    unsigned Intra = 0;
+    for (unsigned I = 0; I < MCsPerCluster; ++I)
+      for (unsigned J = I + 1; J < MCsPerCluster; ++J)
+        Intra = std::max(Intra,
+                         M.manhattan(MCNodes[G * MCsPerCluster + I],
+                                     MCNodes[G * MCsPerCluster + J]));
+    if (Intra >= GlobalSpread)
+      Diags.push_back(
+          {"MCNodes", nodeListText(MCNodes),
+           formatString(
+               "contiguous interleave group {%u..%u} spans %u link(s), as "
+               "wide as the whole %u-link placement; grouped mappings "
+               "(MCs-per-cluster = %u) assume each group's MCs sit near "
+               "each other",
+               G * MCsPerCluster, G * MCsPerCluster + MCsPerCluster - 1,
+               Intra, GlobalSpread, MCsPerCluster),
+           "reorder MCNodes so consecutive MCs are mesh neighbors, or use "
+           "MCs-per-cluster 1"});
+  }
+  return Diags;
+}
+
+std::vector<unsigned> MachineConfig::placedMCNodes() const {
+  if (Placement == MCPlacementKind::Explicit)
+    return MCNodes;
+  Mesh M(MeshX, MeshY);
+  return placeMemoryControllers(M, NumMCs, Placement);
+}
+
+std::optional<ConfigDiagnostic>
+offchip::parsePlacementOption(const std::string &Value,
+                              MCPlacementKind *Kind) {
+  if (mcPlacementFromName(Value, Kind))
+    return std::nullopt;
+  return ConfigDiagnostic{
+      "Placement", Value.empty() ? "(empty)" : Value,
+      std::string("unknown placement kind; valid kinds: ") +
+          mcPlacementNames(),
+      "spell the kind exactly, e.g. --placement top_bottom_spread"};
+}
+
+std::optional<ConfigDiagnostic>
+offchip::parseMCNodeListOption(const std::string &Value,
+                               std::vector<unsigned> *Nodes) {
+  auto Malformed = [&](std::string Constraint) {
+    return ConfigDiagnostic{
+        "MCNodes", Value.empty() ? "(empty)" : Value, std::move(Constraint),
+        "pass comma-separated decimal node ids, e.g. --mc-nodes 0,7,56,63"};
+  };
+  if (Value.empty())
+    return Malformed("must list at least one node id");
+  std::vector<unsigned> Parsed;
+  std::size_t Pos = 0;
+  while (true) {
+    std::size_t Comma = Value.find(',', Pos);
+    std::string Item =
+        Value.substr(Pos, Comma == std::string::npos ? std::string::npos
+                                                     : Comma - Pos);
+    if (Item.empty())
+      return Malformed("empty list item (stray comma)");
+    // Digits-only on purpose (same contract as support/Options): strtoul
+    // would wrap "-1", saturate overflow, and skip whitespace — silently
+    // turning typos into off-mesh node ids.
+    unsigned long long N = 0;
+    for (char C : Item) {
+      if (C < '0' || C > '9')
+        return Malformed(formatString(
+            "'%s' is not a node id: decimal digits only (no signs, hex or "
+            "whitespace)",
+            Item.c_str()));
+      N = N * 10 + static_cast<unsigned>(C - '0');
+      if (N > 0xFFFFFFFFull)
+        return Malformed(
+            formatString("'%s' overflows a 32-bit node id", Item.c_str()));
+    }
+    Parsed.push_back(static_cast<unsigned>(N));
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  *Nodes = std::move(Parsed);
+  return std::nullopt;
+}
+
 std::string MachineConfig::summary() const {
   // The coherence clause appears only when a protocol is selected so every
   // pre-coherence report stays byte-identical.
@@ -260,13 +421,18 @@ std::string MachineConfig::summary() const {
     if (Coherence.SparseDirectory)
       Coh += formatString(" (sparse dir, %u entries)", Coherence.SparseEntries);
   }
+  // The built-in spellings predate mcPlacementName() and are baked into
+  // goldens; Explicit carries its node list so two searched machines never
+  // share a summary line.
+  std::string PlacementText =
+      Placement == MCPlacementKind::Corners           ? "corners"
+      : Placement == MCPlacementKind::EdgeMidpoints   ? "edge midpoints"
+      : Placement == MCPlacementKind::TopBottomSpread ? "top/bottom spread"
+      : "explicit @ " + nodeListText(MCNodes);
   return formatString(
       "%ux%u mesh, %u MCs (%s), %s L2 (%llu KB/node, %uB lines), "
       "L1 %llu KB, %s interleaving, %u thread(s)/core%s%s",
-      MeshX, MeshY, NumMCs,
-      Placement == MCPlacementKind::Corners          ? "corners"
-      : Placement == MCPlacementKind::EdgeMidpoints  ? "edge midpoints"
-                                                     : "top/bottom spread",
+      MeshX, MeshY, NumMCs, PlacementText.c_str(),
       SharedL2 ? "shared (SNUCA)" : "private",
       static_cast<unsigned long long>(L2SizeBytes / 1024), L2LineBytes,
       static_cast<unsigned long long>(L1SizeBytes / 1024),

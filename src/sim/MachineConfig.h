@@ -20,6 +20,7 @@
 #include "vm/VirtualMemory.h"
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,11 @@ struct MachineConfig {
   // Memory system.
   unsigned NumMCs = 4;
   MCPlacementKind Placement = MCPlacementKind::Corners;
+  /// The MC node list under Placement == Explicit (ignored otherwise): MC
+  /// index i sits on node MCNodes[i], so list order fixes the interleave
+  /// residues and the contiguous interleave groups of mapping M2.
+  /// validate() requires exactly NumMCs distinct in-bounds nodes.
+  std::vector<unsigned> MCNodes;
   DramConfig Dram;
   std::uint64_t BytesPerMC = 1ull << 30;
 
@@ -224,9 +230,37 @@ struct MachineConfig {
   /// configurations with a non-empty result.
   std::vector<ConfigDiagnostic> validate() const;
 
+  /// Preconditions of the contiguous-interleave-group mappings (M2 style):
+  /// with \p MCsPerCluster >= 2 each cluster is served by the MC group
+  /// {g*K .. g*K+K-1}, which only buys locality when each group's MCs sit
+  /// near each other. The three built-in placements satisfy this by
+  /// construction; an Explicit list can silently violate it, so this
+  /// returns a structured diagnostic (not a crash) when some group's
+  /// intra-group spread is as large as the placement's global MC spread.
+  /// Call on top of validate() when a grouped mapping is requested.
+  std::vector<ConfigDiagnostic>
+  validateGrouping(unsigned MCsPerCluster) const;
+
+  /// The MC node list this machine places: the built-in generator for the
+  /// named kinds, the MCNodes field under Explicit. Only meaningful on a
+  /// validate()-clean config.
+  std::vector<unsigned> placedMCNodes() const;
+
   /// One-line human-readable summary for bench headers.
   std::string summary() const;
 };
+
+/// Parses a --placement value into \p Kind. \returns a structured
+/// diagnostic listing the valid kinds on any other string.
+std::optional<ConfigDiagnostic> parsePlacementOption(const std::string &Value,
+                                                     MCPlacementKind *Kind);
+
+/// Parses a --mc-nodes list like "0,7,56,63" into \p Nodes: comma-separated
+/// digits-only node ids (no signs, no whitespace — the same contract as
+/// support/Options' unsigned parsing). \returns a structured diagnostic on
+/// malformed input; bounds/distinctness/count are validate()'s job.
+std::optional<ConfigDiagnostic>
+parseMCNodeListOption(const std::string &Value, std::vector<unsigned> *Nodes);
 
 } // namespace offchip
 

@@ -51,11 +51,12 @@ TEST(ContentHash, StableAcrossProcesses) {
   // The cache key of a canonical request is part of the wire contract: if
   // this value drifts, every deployed cache goes cold and the protocol's
   // "key" field changes meaning. Update only with a protocol bump (last:
-  // the coherence knobs joined the hashed config surface).
+  // the explicit MC placement node list joined the hashed config surface,
+  // tags 0x47/0x48).
   SimRequest R;
   R.Kind = RequestKind::Simulate;
   R.Workload.App = "swim";
-  EXPECT_EQ(requestKey(R).str(), "12f8c3c794d7a349169f5dc159b745c4");
+  EXPECT_EQ(requestKey(R).str(), "d5fa66e9711c8e0a73006d9652340ab9");
 }
 
 TEST(ContentHash, IdAndExecutionKnobsExcluded) {
@@ -226,6 +227,62 @@ TEST(Serialize, MachineConfigFullRoundtrip) {
   B.Config = Back;
   EXPECT_EQ(requestKey(A), requestKey(B));
   EXPECT_EQ(toJson(Back).write(), toJson(C).write());
+}
+
+TEST(ContentHash, ExplicitNodeListIncluded) {
+  // Two searched placements over the same machine are different machines:
+  // the node list (and its interleave order) must reach the cache key.
+  SimRequest Base = tinySimulate();
+  Base.Config.Placement = MCPlacementKind::Explicit;
+  Base.Config.MCNodes = {0, 7, 56, 63};
+  CacheKey K = requestKey(Base);
+
+  SimRequest R = Base;
+  R.Config.MCNodes = {0, 7, 56, 62};
+  EXPECT_NE(requestKey(R), K);
+
+  R = Base;
+  R.Config.MCNodes = {7, 0, 56, 63}; // same set, different interleave order
+  EXPECT_NE(requestKey(R), K);
+}
+
+TEST(Serialize, ExplicitConfigRoundtripExact) {
+  MachineConfig C = MachineConfig::scaledDefault();
+  C.Placement = MCPlacementKind::Explicit;
+  C.MCNodes = {2, 13, 50, 61};
+
+  MachineConfig Back = MachineConfig::scaledDefault();
+  std::string Err;
+  ASSERT_TRUE(machineConfigFromJson(toJson(C), &Back, &Err)) << Err;
+  EXPECT_EQ(Back.Placement, MCPlacementKind::Explicit);
+  EXPECT_EQ(Back.MCNodes, C.MCNodes);
+  EXPECT_EQ(toJson(Back).write(), toJson(C).write());
+  SimRequest A = tinySimulate(), B = tinySimulate();
+  A.Config = C;
+  B.Config = Back;
+  EXPECT_EQ(requestKey(A), requestKey(B));
+
+  // mc_nodes is emitted only under the explicit kind, so every
+  // pre-Explicit report and golden stays byte-identical...
+  EXPECT_EQ(toJson(MachineConfig::scaledDefault()).write().find("mc_nodes"),
+            std::string::npos);
+  // ...and the wire layer still rejects malformed or unexpected shapes.
+  auto parseCfg = [](const std::string &Text, std::string *E) {
+    std::optional<JsonValue> V = parseJson(Text, E);
+    if (!V)
+      return false;
+    MachineConfig Cfg = MachineConfig::scaledDefault();
+    return machineConfigFromJson(*V, &Cfg, E);
+  };
+  EXPECT_FALSE(parseCfg("{\"mc_nodes\":5}", &Err));
+  EXPECT_NE(Err.find("mc_nodes"), std::string::npos);
+  EXPECT_FALSE(parseCfg("{\"mc_nodes\":[\"zero\"]}", &Err));
+  EXPECT_FALSE(parseCfg("{\"mc_nodez\":[0]}", &Err));
+  EXPECT_NE(Err.find("mc_nodez"), std::string::npos);
+  EXPECT_TRUE(
+      parseCfg("{\"placement\":\"explicit\",\"mc_nodes\":[0,7,56,63]}",
+               &Err))
+      << Err;
 }
 
 TEST(Serialize, PartialConfigKeepsBaseValues) {

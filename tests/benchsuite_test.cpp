@@ -72,6 +72,41 @@ TEST(BenchSuiteTest, ParseArgsRejectsUnknownApp) {
             std::optional<int>(2));
 }
 
+TEST(BenchSuiteTest, ParseArgsAcceptsPlacementFlags) {
+  BenchSuite Suite("t", "c", MachineConfig::scaledDefault());
+  const char *Argv[] = {"bench", "--placement", "top_bottom_spread"};
+  EXPECT_EQ(Suite.parseArgs(3, const_cast<char **>(Argv)), std::nullopt);
+  EXPECT_EQ(Suite.config().Placement, MCPlacementKind::TopBottomSpread);
+
+  BenchSuite Nodes("t", "c", MachineConfig::scaledDefault());
+  const char *Argv2[] = {"bench", "--mc-nodes", "0,7,56,63"};
+  EXPECT_EQ(Nodes.parseArgs(3, const_cast<char **>(Argv2)), std::nullopt);
+  EXPECT_EQ(Nodes.config().Placement, MCPlacementKind::Explicit);
+  EXPECT_EQ(Nodes.config().MCNodes, (std::vector<unsigned>{0, 7, 56, 63}));
+}
+
+TEST(BenchSuiteTest, ParseArgsRejectsBadPlacementWithDiagnostic) {
+  // The structured diagnostic path: exit code 2, not a crash and not the
+  // generic usage error.
+  BenchSuite Suite("t", "c", MachineConfig::scaledDefault());
+  const char *Argv[] = {"bench", "--placement", "middle"};
+  EXPECT_EQ(Suite.parseArgs(3, const_cast<char **>(Argv)),
+            std::optional<int>(2));
+
+  BenchSuite Nodes("t", "c", MachineConfig::scaledDefault());
+  const char *Argv2[] = {"bench", "--mc-nodes", "0,,7"};
+  EXPECT_EQ(Nodes.parseArgs(3, const_cast<char **>(Argv2)),
+            std::optional<int>(2));
+
+  // A node list under a built-in kind is caught by the final validate()
+  // gate (contradiction diagnostic), same exit code.
+  BenchSuite Mixed("t", "c", MachineConfig::scaledDefault());
+  const char *Argv3[] = {"bench", "--mc-nodes", "0,7,56,63", "--placement",
+                         "corners"};
+  EXPECT_EQ(Mixed.parseArgs(5, const_cast<char **>(Argv3)),
+            std::optional<int>(2));
+}
+
 TEST(BenchSuiteTest, ParseArgsRejectsCsvPlusJson) {
   BenchSuite Suite("t", "c", MachineConfig::scaledDefault());
   const char *Argv[] = {"bench", "--csv", "--json"};

@@ -160,16 +160,37 @@ MachineConfig randomConfig(SplitMix64 &R) {
 
   static const unsigned MCs[] = {2, 4, 4, 6, 8};
   C.NumMCs = pick(R, MCs);
-  switch (R.nextBelow(3)) {
+  switch (R.nextBelow(4)) {
   case 0:
     C.Placement = MCPlacementKind::Corners;
     break;
   case 1:
     C.Placement = MCPlacementKind::EdgeMidpoints;
     break;
-  default:
+  case 2:
     C.Placement = MCPlacementKind::TopBottomSpread;
     break;
+  default: {
+    // Explicit: a random distinct node set, exercising the arbitrary
+    // placements tools/placement-opt searches over. Falls back to Corners
+    // when the mesh is too small to seat every MC on its own node.
+    unsigned Nodes = C.MeshX * C.MeshY;
+    if (C.NumMCs > Nodes) {
+      C.Placement = MCPlacementKind::Corners;
+      break;
+    }
+    C.Placement = MCPlacementKind::Explicit;
+    std::vector<unsigned> All(Nodes);
+    for (unsigned I = 0; I < Nodes; ++I)
+      All[I] = I;
+    // Partial Fisher-Yates: the first NumMCs entries are a uniform draw of
+    // distinct nodes, in a seed-reproducible order.
+    for (unsigned I = 0; I < C.NumMCs; ++I)
+      std::swap(All[I], All[I + static_cast<unsigned>(
+                                    R.nextBelow(Nodes - I))]);
+    C.MCNodes.assign(All.begin(), All.begin() + C.NumMCs);
+    break;
+  }
   }
 
   static const unsigned L1Lines[] = {16, 32, 64};
@@ -314,8 +335,16 @@ std::string renderConfigCode(const MachineConfig &C) {
   Out += std::string("  C.Placement = MCPlacementKind::") +
          (C.Placement == MCPlacementKind::Corners         ? "Corners"
           : C.Placement == MCPlacementKind::EdgeMidpoints ? "EdgeMidpoints"
-                                                          : "TopBottomSpread") +
+          : C.Placement == MCPlacementKind::TopBottomSpread
+              ? "TopBottomSpread"
+              : "Explicit") +
          ";\n";
+  if (C.Placement == MCPlacementKind::Explicit) {
+    Out += "  C.MCNodes = {";
+    for (std::size_t I = 0; I < C.MCNodes.size(); ++I)
+      Out += (I == 0 ? "" : ", ") + U(C.MCNodes[I]);
+    Out += "};\n";
+  }
   Out += "  C.L1SizeBytes = " + U(C.L1SizeBytes) + ";\n";
   Out += "  C.L1LineBytes = " + U(C.L1LineBytes) + ";\n";
   Out += "  C.L1Ways = " + U(C.L1Ways) + ";\n";
@@ -514,6 +543,9 @@ TrialSpec shrink(TrialSpec S, TrialOutcome &Witness) {
       TryConfig([](MachineConfig &C) {
         C.NumMCs = 4;
         C.Placement = MCPlacementKind::Corners;
+        // A stale explicit list under a built-in kind is a validate()
+        // error; the pull-back must drop both together.
+        C.MCNodes.clear();
       });
     if (S.Config.ThreadsPerCore != 1)
       TryConfig([](MachineConfig &C) { C.ThreadsPerCore = 1; });

@@ -69,6 +69,33 @@ int main(int Argc, char **Argv) {
                  },
                  "mesh size (default 8x8)");
   Options.value("--mcs", &Config.NumMCs, "memory controllers (default 4)");
+  // Flag-level mistakes get the same structured field/value/constraint/fix
+  // diagnostics validate() produces: the lambdas record one and fail the
+  // parse, and the error path below prefers it over the generic message.
+  std::vector<ConfigDiagnostic> FlagDiags;
+  Options.custom("--placement", "<kind>",
+                 [&](const std::string &V) {
+                   if (std::optional<ConfigDiagnostic> D =
+                           parsePlacementOption(V, &Config.Placement)) {
+                     FlagDiags.push_back(std::move(*D));
+                     return false;
+                   }
+                   return true;
+                 },
+                 std::string("MC placement kind: ") + mcPlacementNames() +
+                     " (default corners)");
+  Options.custom("--mc-nodes", "<n0,n1,...>",
+                 [&](const std::string &V) {
+                   if (std::optional<ConfigDiagnostic> D =
+                           parseMCNodeListOption(V, &Config.MCNodes)) {
+                     FlagDiags.push_back(std::move(*D));
+                     return false;
+                   }
+                   Config.Placement = MCPlacementKind::Explicit;
+                   return true;
+                 },
+                 "explicit MC node ids, one per MC in interleave order "
+                 "(implies --placement explicit)");
   Options.value("--mcs-per-cluster", &Request.MCsPerCluster,
                 "MCs per cluster, mapping M2 style (default 1)");
   Options.flag("--shared-l2", &Config.SharedL2,
@@ -135,6 +162,10 @@ int main(int Argc, char **Argv) {
     if (WantedHelp) {
       std::fputs(Err.c_str(), stdout);
       return 0;
+    }
+    if (!FlagDiags.empty()) {
+      std::fprintf(stderr, "%s\n", renderDiagnostics(FlagDiags).c_str());
+      return 2;
     }
     std::fprintf(stderr, "error: %s\n%s", Err.c_str(),
                  Options.helpText().c_str());

@@ -1,0 +1,31 @@
+# Runs placement-opt with the same seed at --jobs 1/2/8 and requires the
+# three reports to be byte-identical — the annealing chain draws all its
+# randomness on the submitting thread and results are collected in
+# submission order, so worker count must never leak into the output.
+#
+# Expects: -DPLACEMENT_OPT=<binary> -DWORK_DIR=<scratch dir>
+#          -DARGS=<semicolon-separated common arguments>
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+foreach(JOBS 1 2 8)
+  execute_process(
+    COMMAND ${PLACEMENT_OPT} ${ARGS} --jobs ${JOBS}
+    OUTPUT_FILE ${WORK_DIR}/jobs${JOBS}.txt
+    RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "placement-opt --jobs ${JOBS} exited with ${RC}")
+  endif()
+endforeach()
+
+foreach(JOBS 2 8)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/jobs1.txt ${WORK_DIR}/jobs${JOBS}.txt
+    RESULT_VARIABLE DIFF)
+  if(NOT DIFF EQUAL 0)
+    message(FATAL_ERROR
+            "placement-opt output differs between --jobs 1 and --jobs "
+            "${JOBS}: ${WORK_DIR}/jobs1.txt vs ${WORK_DIR}/jobs${JOBS}.txt")
+  endif()
+endforeach()
